@@ -1,0 +1,63 @@
+"""Shared benchmark configuration.
+
+Benchmarks reproduce the paper's tables/figures at resolutions chosen so
+a full ``pytest benchmarks/ --benchmark-only`` run finishes in minutes
+on a laptop while every sweep stays *exhaustive* (every grid location is
+taken as the hidden truth). Reports are printed and also written under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+
+Heavy artefacts (exploration spaces, empirical sweeps) are cached at
+session scope and shared across benchmark files.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import experiments as exp
+
+#: Grid resolution per ESS dimensionality used by the benchmark suite.
+BENCH_RESOLUTION = {2: 48, 3: 16, 4: 10, 5: 7, 6: 5}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def resolution_for(name):
+    """Benchmark grid resolution for a workload name like ``4D_Q91``."""
+    dims = int(name.split("D_")[0])
+    return BENCH_RESOLUTION[dims]
+
+
+def emit(report, filename):
+    """Print a report and persist it under benchmarks/results/."""
+    text = report.render()
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (drivers are far too heavy to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def suite_names():
+    """The paper suite with per-dimensionality bench resolutions."""
+    from repro.harness.workloads import PAPER_SUITE
+    return PAPER_SUITE
+
+
+@pytest.fixture(scope="session")
+def empirical_pb_sb():
+    """Figs. 10 & 11 share one sweep computation (PB and SB per query)."""
+    from repro.harness.workloads import PAPER_SUITE
+    reports = {}
+    for name in PAPER_SUITE:
+        reports[name] = exp.fig10_11_empirical(
+            names=(name,), resolution=resolution_for(name)
+        ).tables[0][2][0]
+    return reports

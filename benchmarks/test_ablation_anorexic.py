@@ -1,0 +1,30 @@
+"""Ablation: anorexic-reduction threshold for PlanBouquet.
+
+PB's guarantee trades the densest-contour cardinality rho against the
+(1+lambda) budget inflation; lambda = 0.2 (the paper's default) should
+sit near the sweet spot, with lambda = 0 keeping large rho and huge
+lambda degenerating to a single plan.
+"""
+
+from conftest import emit, resolution_for, run_once
+
+from repro.harness import experiments as exp
+
+
+def test_ablation_anorexic(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: exp.ablation_anorexic(
+            "4D_Q91", lambdas=(0.0, 0.1, 0.2, 0.4, 1.0),
+            resolution=resolution_for("4D_Q91")),
+    )
+    emit(report, "ablation_anorexic.txt")
+    rows = report.tables[0][2]
+    rhos = {lam: rho for lam, rho, _g, _e, _a in rows}
+    # The reduction is a greedy heuristic, so rho is not strictly
+    # monotone in lambda; but any positive threshold must beat the
+    # unreduced diagram, and a huge threshold collapses further.
+    assert all(rhos[lam] <= rhos[0.0] for lam in rhos)
+    assert rhos[1.0] <= rhos[0.1]
+    for _lam, _rho, msog, msoe, _aso in rows:
+        assert msoe <= msog + 1e-6

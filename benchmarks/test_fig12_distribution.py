@@ -1,0 +1,26 @@
+"""Fig. 12: sub-optimality distribution over the ESS (4D_Q91).
+
+Paper shape: with SB over 90% of locations sit in the lowest bin
+(sub-optimality < 5), versus only ~35% with PB.
+"""
+
+from conftest import emit, resolution_for, run_once
+
+from repro.harness import experiments as exp
+
+
+def test_fig12_distribution(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: exp.fig12_distribution(
+            "4D_Q91", resolution=resolution_for("4D_Q91")),
+    )
+    emit(report, "fig12_distribution.txt")
+    rows = report.tables[0][2]
+    shares = {label: (pb, sb) for label, pb, sb in rows}
+    pb_low, sb_low = shares["0-5"]
+    # SB concentrates far more of the space in the lowest bin.
+    assert sb_low > pb_low
+    assert sb_low > 60.0
+    assert abs(sum(pb for _l, pb, _s in rows) - 100.0) < 1e-6
+    assert abs(sum(sb for _l, _p, sb in rows) - 100.0) < 1e-6

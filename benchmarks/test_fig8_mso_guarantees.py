@@ -1,0 +1,35 @@
+"""Fig. 8: MSO guarantees (MSOg), PlanBouquet vs SpillBound.
+
+Paper shape: SB's structural bound (D^2+3D) is comparable to PB's
+behavioral bound (4(1+lam)rho_red) and noticeably tighter on several
+queries (4D_Q26, 4D_Q91, 6D_Q91 in the paper).
+"""
+
+from conftest import emit, resolution_for, run_once
+
+from repro.harness import experiments as exp
+
+
+def test_fig8_mso_guarantees(benchmark, suite_names):
+    def driver():
+        # Per-query resolution: build each space at its bench resolution.
+        rows = []
+        for name in suite_names:
+            report = exp.fig8_mso_guarantees(
+                names=(name,), resolution=resolution_for(name))
+            rows.append(report.tables[0][2][0])
+        full = exp.Report("Fig. 8: MSO guarantees (MSOg)")
+        full.add_table(
+            "MSO guarantee per query",
+            ["query", "D", "rho_red", "PB (4(1+lam)rho)", "SB (D^2+3D)"],
+            rows,
+        )
+        return full
+
+    report = run_once(benchmark, driver)
+    emit(report, "fig8_mso_guarantees.txt")
+    rows = report.tables[0][2]
+    assert len(rows) == 11
+    for _name, d, rho, pb_g, sb_g in rows:
+        assert pb_g == 4 * 1.2 * rho
+        assert sb_g == d * d + 3 * d

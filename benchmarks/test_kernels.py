@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the substrate's hot kernels.
+
+Unlike the figure/table reproductions (timed once), these run enough
+iterations for pytest-benchmark to report stable statistics: optimizer
+DP calls, vectorised plan costing, space construction, contour
+extraction, single algorithm runs, and the row executor.
+"""
+
+import pytest
+
+from repro.algorithms.alignedbound import AlignedBound
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.algorithms.spillbound import SpillBound
+from repro.catalog.datagen import generate_database
+from repro.catalog.tpcds import mini_tpcds_catalog
+from repro.cost.model import CostModel
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.executor.runtime import RowEngine
+from repro.harness.workloads import build_space, workload
+from repro.optimizer.dp import Optimizer
+from repro.query.query import Query, make_join
+
+
+@pytest.fixture(scope="module")
+def q91_4d_space():
+    return build_space(workload("4D_Q91"), resolution=10)
+
+
+@pytest.fixture(scope="module")
+def q91_4d_contours(q91_4d_space):
+    return ContourSet(q91_4d_space)
+
+
+def test_optimizer_dp_call(benchmark):
+    query = workload("6D_Q91")
+    optimizer = Optimizer(query)
+    assignment = {epp: 1e-4 for epp in query.epps}
+    result = benchmark(lambda: optimizer.optimize(assignment))
+    assert result.cost > 0
+
+
+def test_vectorised_plan_costing(benchmark, q91_4d_space):
+    space = q91_4d_space
+    plan = space.plans[0].tree
+    model = CostModel(space.query)
+    assignment = space._grid_assignment()
+    cost = benchmark(lambda: model.cost(plan, assignment))
+    assert cost.size == space.grid.size
+
+
+def test_space_fast_build(benchmark):
+    query = workload("3D_Q15")
+
+    def build():
+        space = ExplorationSpace(query, resolution=10)
+        return space.build(mode="fast", rng=0)
+
+    space = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert space.built
+
+
+def test_contour_extraction(benchmark, q91_4d_space):
+    def draw():
+        contours = ContourSet(q91_4d_space)
+        return [contours.members(i) for i in range(len(contours))]
+
+    members = benchmark(draw)
+    assert all(len(m) >= 0 for m in members)
+
+
+def test_planbouquet_single_run(benchmark, q91_4d_space, q91_4d_contours):
+    pb = PlanBouquet(q91_4d_space, q91_4d_contours)
+    qa = tuple(r // 2 for r in q91_4d_space.grid.shape)
+    result = benchmark(lambda: pb.run(qa))
+    assert result.executions[-1].completed
+
+
+def test_spillbound_single_run(benchmark, q91_4d_space, q91_4d_contours):
+    sb = SpillBound(q91_4d_space, q91_4d_contours)
+    qa = tuple(r // 2 for r in q91_4d_space.grid.shape)
+    result = benchmark(lambda: sb.run(qa))
+    assert result.sub_optimality <= sb.mso_guarantee() + 1e-6
+
+
+def test_alignedbound_single_run(benchmark, q91_4d_space,
+                                 q91_4d_contours):
+    ab = AlignedBound(q91_4d_space, q91_4d_contours)
+    qa = tuple(r // 2 for r in q91_4d_space.grid.shape)
+    result = benchmark(lambda: ab.run(qa))
+    assert result.sub_optimality <= ab.mso_guarantee() + 1e-6
+
+
+def test_row_executor_full_query(benchmark):
+    catalog = mini_tpcds_catalog(rows_cap=3000)
+    query = Query(
+        "bench_rows", catalog,
+        ["catalog_returns", "date_dim", "customer"],
+        [
+            make_join("cr_d", "catalog_returns.cr_returned_date_sk",
+                      "date_dim.d_date_sk"),
+            make_join("cr_c", "catalog_returns.cr_returning_customer_sk",
+                      "customer.c_customer_sk"),
+        ],
+        epps=("cr_d", "cr_c"),
+    )
+    database = generate_database(catalog, rng=0)
+    plan = Optimizer(query).optimize(
+        {"cr_d": 1e-4, "cr_c": 1e-5}).plan
+    engine = RowEngine(database, query)
+    result = benchmark(lambda: engine.run(plan))
+    assert result.completed

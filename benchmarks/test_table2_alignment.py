@@ -1,0 +1,35 @@
+"""Table 2: cost of enforcing contour alignment.
+
+Paper shape: native alignment is partial (18-100% of contours); modest
+penalty caps (1.2-2.0) raise the aligned fraction substantially, but a
+few queries need very large penalties for full alignment.
+"""
+
+from conftest import emit, resolution_for, run_once
+
+from repro.harness import experiments as exp
+
+NAMES = ("3D_Q96", "4D_Q7", "4D_Q26", "4D_Q91", "5D_Q29", "5D_Q84")
+
+
+def test_table2_alignment(benchmark):
+    def driver():
+        rows = []
+        for name in NAMES:
+            report = exp.table2_alignment(
+                names=(name,), resolution=resolution_for(name))
+            rows.append(report.tables[0][2][0])
+        full = exp.Report("Table 2: cost of enforcing contour alignment")
+        full.add_table(
+            "Percentage of aligned contours vs penalty cap",
+            ["query", "original %", "eps<=1.2 %", "eps<=1.5 %",
+             "eps<=2.0 %", "max eps"],
+            rows,
+        )
+        return full
+
+    report = run_once(benchmark, driver)
+    emit(report, "table2_alignment.txt")
+    for _name, orig, e12, e15, e20, max_eps in report.tables[0][2]:
+        assert 0 <= orig <= e12 <= e15 <= e20 <= 100.0
+        assert max_eps >= 1.0

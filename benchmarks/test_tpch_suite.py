@@ -1,0 +1,52 @@
+"""Extension: the TPC-H bonus suite (PlanBouquet's native benchmark).
+
+Includes the paper's own introductory example EQ (Fig. 1: orders for
+cheap parts, both join predicates error-prone). Shape expectations are
+the same as on TPC-DS: all bounds hold, SB at or below PB empirically.
+"""
+
+from conftest import emit, run_once
+
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.algorithms.spillbound import SpillBound
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.harness import experiments as exp
+from repro.harness.tpch_workloads import TPCH_SUITE, tpch_workload
+from repro.metrics.mso import exhaustive_sweep
+
+RESOLUTIONS = {2: 32, 3: 14, 4: 9}
+
+
+def test_tpch_suite(benchmark):
+    def driver():
+        rows = []
+        for name in TPCH_SUITE:
+            query = tpch_workload(name)
+            space = ExplorationSpace(
+                query, resolution=RESOLUTIONS[query.dimensions])
+            space.build(mode="fast", rng=0)
+            contours = ContourSet(space)
+            pb = PlanBouquet(space, contours)
+            sb = SpillBound(space, contours)
+            pb_sweep = exhaustive_sweep(pb)
+            sb_sweep = exhaustive_sweep(sb)
+            rows.append((
+                name, query.dimensions,
+                pb.mso_guarantee(), sb.mso_guarantee(),
+                pb_sweep.mso, sb_sweep.mso,
+            ))
+        report = exp.Report("Extension: TPC-H bonus suite")
+        report.add_table(
+            "Guarantees and empirical MSO on TPC-H SPJ cores",
+            ["query", "D", "PB MSOg", "SB MSOg", "PB MSOe", "SB MSOe"],
+            rows,
+        )
+        return report
+
+    report = run_once(benchmark, driver)
+    emit(report, "tpch_suite.txt")
+    for _name, d, _pb_g, sb_g, pb_e, sb_e in report.tables[0][2]:
+        assert sb_g == d * d + 3 * d
+        assert sb_e <= sb_g + 1e-6
+        assert pb_e <= _pb_g + 1e-6

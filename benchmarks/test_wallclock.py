@@ -1,0 +1,34 @@
+"""§6.3 wall-clock-style experiment on the row executor.
+
+Paper shape (TPC-DS Q91, 4 epps): the native optimizer incurred
+sub-optimality 14.3, SpillBound 5.6, AlignedBound 3.8 -- i.e. the
+discovery algorithms land within a small factor of the oracle while the
+estimate-then-execute baseline blows up. Our catalog, data and meter
+differ, so only the ordering and rough magnitudes are asserted.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import experiments as exp
+
+
+def test_wallclock_experiment(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: exp.wallclock_experiment(rng=11, resolution=12,
+                                         delta=1.0),
+    )
+    emit(report, "wallclock.txt")
+    rows = {name: (cost, subopt) for name, cost, subopt, _n
+            in report.tables[0][2]}
+    assert rows["oracle"][1] == "1.00"
+    sb_subopt = float(rows["spillbound"][1])
+    ab_subopt = float(rows["alignedbound"][1])
+    # Discovery algorithms stay within the delta-inflated guarantee
+    # regime (D^2+3D at D=4, inflated by (1+delta)^2; §7 of the paper).
+    assert sb_subopt < 28 * (1 + 1.0) ** 2
+    assert ab_subopt < 28 * (1 + 1.0) ** 2
+    # The native baseline pays far more than the discovery algorithms
+    # (it was killed at the cap if the string says so).
+    native_cost = rows["native"][0]
+    assert native_cost > rows["spillbound"][0]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate the paper's geometric figures as SVG + ASCII art.
+
+Writes, under ``examples/output/``:
+
+* ``plan_diagram.svg``  -- Fig. 3: optimality regions over the ESS;
+* ``contours.svg``      -- Fig. 2: doubling iso-cost contours;
+* ``trace.svg``         -- Fig. 7: a SpillBound Manhattan trace;
+* ``textbook_*.svg``    -- the same artifacts on the synthetic
+  textbook geometry (useful to see the shapes without optimizer noise).
+
+ASCII previews are printed so the run is informative even without an
+SVG viewer.
+
+Run:
+    python examples/figure_gallery.py
+"""
+
+import os
+
+from repro import (
+    ContourSet,
+    SpillBound,
+    build_space,
+    textbook_space,
+    workload,
+)
+from repro.viz import (
+    ascii_contour_map,
+    ascii_plan_diagram,
+    render_contour_svg,
+    render_plan_diagram_svg,
+    render_trace_svg,
+)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def main():
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    # Real workload: TPC-DS Q91 with two error-prone joins.
+    space = build_space(workload("2D_Q91"), resolution=40)
+    contours = ContourSet(space)
+    sb = SpillBound(space, contours)
+    result = sb.run((30, 34))
+
+    render_plan_diagram_svg(
+        space, path=os.path.join(OUTPUT_DIR, "plan_diagram.svg"))
+    render_contour_svg(
+        space, contours, path=os.path.join(OUTPUT_DIR, "contours.svg"))
+    render_trace_svg(
+        space, contours, result,
+        path=os.path.join(OUTPUT_DIR, "trace.svg"))
+
+    print("2D_Q91 plan diagram (letters = POSP plans):\n")
+    print(ascii_plan_diagram(space.plan_at))
+    print("\n2D_Q91 contour map (digits = contour level):\n")
+    print(ascii_contour_map(space, contours))
+
+    # Synthetic textbook geometry (Fig. 2's idealised shapes).
+    synthetic = textbook_space(resolution=40)
+    synthetic_contours = ContourSet(synthetic)
+    render_plan_diagram_svg(
+        synthetic,
+        path=os.path.join(OUTPUT_DIR, "textbook_plan_diagram.svg"),
+        title="Textbook plan diagram")
+    render_contour_svg(
+        synthetic, synthetic_contours,
+        path=os.path.join(OUTPUT_DIR, "textbook_contours.svg"),
+        title="Textbook contours")
+
+    print("\ntextbook plan diagram:\n")
+    print(ascii_plan_diagram(synthetic.plan_at))
+    print("\nSVG files written to %s" % OUTPUT_DIR)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""§6.5 companion: robustness on the Join Order Benchmark (JOB Q1a).
+
+The JOB benchmark (Leis et al., VLDB 2016) was designed to expose
+optimizer cardinality disasters on the real-world-skewed IMDB dataset.
+This example evaluates the native optimizer's worst-case MSO against
+SpillBound's and AlignedBound's empirical MSO on a Q1a-shaped query
+over an IMDB-shaped catalog.
+
+Run:
+    python examples/job_benchmark.py
+"""
+
+from repro.harness.experiments import job_experiment
+
+
+def main():
+    report = job_experiment(dims=3, resolution=16)
+    print(report.render())
+    print(
+        "\nWhat to look for (paper §6.5):"
+        "\n  * the native optimizer's MSO explodes (>6000 in the paper)"
+        "\n  * SpillBound stays near 12, AlignedBound below 9 --"
+        "\n    both bounded by D^2+3D = 18 for D = 3, by inspection."
+    )
+
+
+if __name__ == "__main__":
+    main()

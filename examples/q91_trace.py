@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fig. 7 / Table 3 companion: trace SpillBound's discovery on Q91.
+
+Renders the Manhattan-profile execution trace of SpillBound on TPC-DS
+Q91: which plan was executed on which contour, in spill or regular mode,
+what was learnt, and how the running location advanced -- plus an ASCII
+sketch of the 2D contour map with the trace overlaid.
+
+Run:
+    python examples/q91_trace.py
+"""
+
+import numpy as np
+
+from repro import ContourSet, SpillBound, build_space, workload
+from repro.harness.experiments import table3_trace
+
+
+def ascii_contour_map(space, contours, trace_points, width=64):
+    """Render contour levels over the 2D grid, marking the trace."""
+    shape = space.grid.shape
+    level = np.zeros(shape, dtype=int)
+    for i in range(len(contours)):
+        level[space.opt_cost > contours.cost(i)] = i + 1
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    lines = []
+    for y in reversed(range(shape[1])):
+        row = []
+        for x in range(shape[0]):
+            if (x, y) in trace_points:
+                row.append("*")
+            else:
+                row.append(glyphs[level[x, y] % len(glyphs)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def main():
+    # The paper's Fig. 7 uses Q91 with two epps (date join x address
+    # join); the drill-down Table 3 uses four.
+    query = workload("2D_Q91")
+    space = build_space(query, resolution=40)
+    contours = ContourSet(space)
+    sb = SpillBound(space, contours)
+
+    qa = (30, 34)
+    result = sb.run(qa)
+    print("SpillBound on %s, hidden truth qa = %s" % (query.name, qa))
+    print("sub-optimality %.2f with %d budgeted executions "
+          "(guarantee %.0f)\n" % (
+              result.sub_optimality, result.num_executions,
+              sb.mso_guarantee()))
+
+    print("execution sequence (p = spill-mode, P = regular):")
+    qrun = [0] * space.grid.dims
+    trace_points = {tuple(qrun)}
+    for record in result.executions:
+        if record.mode == "spill" and record.learned is not None \
+                and record.learned >= 0:
+            dim = query.epp_index(record.epp)
+            qrun[dim] = max(qrun[dim], record.learned)
+            trace_points.add(tuple(qrun))
+        tag = "p" if record.mode == "spill" else "P"
+        print("  IC%-2d %s%-3d budget %.3g %s%s -> qrun=%s" % (
+            record.contour + 1, tag, record.plan_id + 1, record.budget,
+            "spill on %s " % record.epp if record.epp else "",
+            "COMPLETED" if record.completed else "expired",
+            tuple(qrun),
+        ))
+
+    print("\ncontour map (digits = contour level, * = Manhattan trace,")
+    print("origin bottom-left, X = sel(%s), Y = sel(%s)):\n" %
+          (query.epps[0], query.epps[1]))
+    print(ascii_contour_map(space, contours, trace_points))
+
+    # The 4D drill-down mirroring the paper's Table 3.
+    print("\n" + "=" * 70 + "\n")
+    print(table3_trace("4D_Q91", resolution=10).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro: platform-independent robust query processing.
+
+A from-scratch reproduction of *"Platform-Independent Robust Query
+Processing"* (Karthik, Haritsa, Kenkre, Pandit, Krishnan; ICDE 2016 /
+TKDE 2019): the SpillBound and AlignedBound selectivity-discovery
+algorithms with their provable MSO guarantees, the PlanBouquet baseline,
+and the full substrate they need -- catalog, cost model, Selinger DP
+optimizer, selectivity-space/contour machinery, and both a cost-metered
+simulated engine and a row-level iterator executor.
+
+Quickstart::
+
+    from repro import (
+        workload, build_space, ContourSet, SpillBound, exhaustive_sweep,
+    )
+
+    query = workload("2D_Q91")          # TPC-DS Q91, 2 error-prone joins
+    space = build_space(query)          # POSP + optimal cost surface
+    sb = SpillBound(space)              # MSO <= D^2 + 3D, by inspection
+    print(sb.mso_guarantee())           # 10.0
+    print(exhaustive_sweep(sb).mso)     # empirical MSO over the ESS
+"""
+
+from repro.algorithms import (
+    AlignedBound,
+    NativeOptimizer,
+    Oracle,
+    PlanBouquet,
+    SpillBound,
+)
+from repro.algorithms.spillbound import (
+    optimal_contour_ratio,
+    spillbound_guarantee,
+)
+from repro.engine.noisy import NoisyEngine, inflated_guarantee
+from repro.harness.epp_selection import declare_epps, rank_epps
+from repro.catalog import (
+    Catalog,
+    Column,
+    Table,
+    generate_database,
+    job_catalog,
+    tpcds_catalog,
+)
+from repro.catalog.tpch import tpch_catalog
+from repro.harness.tpch_workloads import tpch_suite, tpch_workload
+from repro.cost import CostModel, CostParams
+from repro.ess import (
+    ContourSet,
+    ExplorationSpace,
+    SelectivityGrid,
+    anorexic_reduction,
+)
+from repro.ess.persistence import load_space, save_space
+from repro.ess.synthetic import (
+    SyntheticPlan,
+    SyntheticSpace,
+    spike_space,
+    textbook_space,
+)
+from repro.executor import RowBackedEngine, RowEngine
+from repro.algorithms.randomized import RandomizedPlanBouquet
+from repro.harness import build_space, job_q1a, paper_suite, workload
+from repro.harness.generator import random_catalog, random_query
+from repro.metrics import exhaustive_sweep
+from repro.optimizer import Optimizer
+from repro.query import FilterPredicate, JoinPredicate, Query
+from repro.query.parser import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # query model
+    "Query",
+    "JoinPredicate",
+    "FilterPredicate",
+    "parse_query",
+    # catalog
+    "Catalog",
+    "Table",
+    "Column",
+    "tpcds_catalog",
+    "job_catalog",
+    "tpch_catalog",
+    "generate_database",
+    "tpch_workload",
+    "tpch_suite",
+    # costing & optimization
+    "CostModel",
+    "CostParams",
+    "Optimizer",
+    # ESS machinery
+    "SelectivityGrid",
+    "ExplorationSpace",
+    "ContourSet",
+    "anorexic_reduction",
+    "save_space",
+    "load_space",
+    "SyntheticSpace",
+    "SyntheticPlan",
+    "textbook_space",
+    "spike_space",
+    # algorithms
+    "Oracle",
+    "NativeOptimizer",
+    "PlanBouquet",
+    "RandomizedPlanBouquet",
+    "SpillBound",
+    "AlignedBound",
+    "spillbound_guarantee",
+    "optimal_contour_ratio",
+    "inflated_guarantee",
+    # engines
+    "RowEngine",
+    "RowBackedEngine",
+    "NoisyEngine",
+    # harness
+    "workload",
+    "paper_suite",
+    "job_q1a",
+    "build_space",
+    "exhaustive_sweep",
+    "rank_epps",
+    "declare_epps",
+    "random_catalog",
+    "random_query",
+]

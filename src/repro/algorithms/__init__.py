@@ -1,0 +1,18 @@
+"""Robust query processing algorithms and baselines."""
+
+from repro.algorithms.base import ExecutionRecord, RunResult
+from repro.algorithms.oracle import Oracle
+from repro.algorithms.native import NativeOptimizer
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.algorithms.spillbound import SpillBound
+from repro.algorithms.alignedbound import AlignedBound
+
+__all__ = [
+    "ExecutionRecord",
+    "RunResult",
+    "Oracle",
+    "NativeOptimizer",
+    "PlanBouquet",
+    "SpillBound",
+    "AlignedBound",
+]

@@ -1,0 +1,121 @@
+"""Common result types and the abstract algorithm interface.
+
+Every algorithm exposes :meth:`RobustAlgorithm.run`, which simulates the
+full budgeted-execution sequence for one hidden true location and returns
+a :class:`RunResult` whose ``sub_optimality`` is Eq. (3) of the paper:
+total expended cost divided by the oracle cost at the truth.
+"""
+
+from repro.common.errors import DiscoveryError
+from repro.engine.simulated import SimulatedEngine
+
+
+class ExecutionRecord:
+    """One budgeted execution in a discovery sequence.
+
+    ``mode`` is ``"regular"`` or ``"spill"``; ``epp`` names the spilled
+    predicate for spill executions; ``learned`` carries the grid index
+    learnt along the spilled dimension (exact on completion, a lower
+    bound otherwise).
+    """
+
+    __slots__ = (
+        "contour",
+        "plan_id",
+        "mode",
+        "epp",
+        "budget",
+        "spent",
+        "completed",
+        "learned",
+        "repeat",
+    )
+
+    def __init__(self, contour, plan_id, mode, epp, budget, spent,
+                 completed, learned=None, repeat=False):
+        self.contour = contour
+        self.plan_id = plan_id
+        self.mode = mode
+        self.epp = epp
+        self.budget = budget
+        self.spent = spent
+        self.completed = completed
+        self.learned = learned
+        self.repeat = repeat
+
+    def __repr__(self):
+        flag = "+" if self.completed else "-"
+        tag = "p" if self.mode == "spill" else "P"
+        return "%s%d|IC%d|%.3g%s" % (
+            tag, self.plan_id + 1, self.contour + 1, self.budget, flag
+        )
+
+
+class RunResult:
+    """Outcome of one full discovery run at a hidden truth."""
+
+    __slots__ = (
+        "algorithm",
+        "qa_index",
+        "total_cost",
+        "optimal_cost",
+        "executions",
+        "extras",
+    )
+
+    def __init__(self, algorithm, qa_index, total_cost, optimal_cost,
+                 executions, extras=None):
+        self.algorithm = algorithm
+        self.qa_index = qa_index
+        self.total_cost = total_cost
+        self.optimal_cost = optimal_cost
+        self.executions = executions
+        #: Algorithm-specific instrumentation (e.g. AlignedBound's
+        #: maximum partition penalty).
+        self.extras = extras or {}
+
+    @property
+    def sub_optimality(self):
+        """Eq. (3): expended cost over oracle cost."""
+        return self.total_cost / self.optimal_cost
+
+    @property
+    def num_executions(self):
+        return len(self.executions)
+
+    def __repr__(self):
+        return "RunResult(%s, qa=%s, subopt=%.2f, execs=%d)" % (
+            self.algorithm,
+            self.qa_index,
+            self.sub_optimality,
+            self.num_executions,
+        )
+
+
+class RobustAlgorithm:
+    """Base class: holds the space and provides the engine factory."""
+
+    #: Short name used in reports; subclasses override.
+    name = "abstract"
+
+    def __init__(self, space):
+        if not space.built:
+            raise DiscoveryError("exploration space must be built first")
+        self.space = space
+
+    def engine_for(self, qa_index):
+        """Create a fresh engine hiding ``qa_index`` as the truth."""
+        return SimulatedEngine(self.space, qa_index)
+
+    def run(self, qa_index, engine=None):
+        """Simulate the discovery sequence for truth ``qa_index``.
+
+        ``engine`` optionally substitutes a different execution
+        environment (e.g. the row-level executor) for the default
+        cost-model simulation.
+        """
+        raise NotImplementedError
+
+    def mso_guarantee(self):
+        """The a-priori MSO bound this algorithm promises, if any."""
+        return None

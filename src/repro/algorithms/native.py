@@ -1,0 +1,85 @@
+"""The native-optimizer baseline: estimate once, execute blindly.
+
+The optimizer believes the catalog's selectivity estimates for every epp
+and runs the resulting plan to completion regardless of cost -- exactly
+the behaviour whose worst case the paper measures in the millions.
+
+Two MSO notions are provided:
+
+* :meth:`run` / empirical sweeps use the *fixed* estimate location
+  ``qe`` implied by the catalog statistics (the §6.3/§6.5 experiments);
+* :meth:`worst_case_mso` maximises over all (qe, qa) pairs on the grid,
+  matching Eq. (2)'s pessimistic definition used in the introduction.
+"""
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
+
+
+class NativeOptimizer(RobustAlgorithm):
+    """Classical estimate-then-execute query processing."""
+
+    name = "native"
+
+    def __init__(self, space):
+        super().__init__(space)
+        self._qe_index = self._estimate_index()
+        self._qe_plan = space.optimal_plan(self._qe_index)
+
+    def _estimate_index(self):
+        """Grid location closest to the catalog's selectivity estimates."""
+        space = self.space
+        index = []
+        for d, epp in enumerate(space.query.epps):
+            predicate = space.query.predicate(epp)
+            estimate = space.cost_model.estimator.estimate(predicate)
+            values = space.grid.values[d]
+            pos = int(np.argmin(np.abs(np.log(values) - np.log(max(estimate, values[0])))))
+            index.append(pos)
+        return tuple(index)
+
+    @property
+    def estimate_index(self):
+        """The grid location the optimizer believes in."""
+        return self._qe_index
+
+    def run(self, qa_index, engine=None):
+        qa_index = tuple(qa_index)
+        plan = self._qe_plan
+        if engine is not None:
+            cost = engine.execute(plan, float("inf")).spent
+        else:
+            cost = float(plan.cost[qa_index])
+        record = ExecutionRecord(
+            contour=-1,
+            plan_id=plan.id,
+            mode="regular",
+            epp=None,
+            budget=cost,
+            spent=cost,
+            completed=True,
+        )
+        optimal = (
+            self.space.optimal_cost(qa_index) if engine is None
+            else engine.optimal_cost
+        )
+        return RunResult(self.name, qa_index, cost, optimal, [record])
+
+    def worst_case_mso(self):
+        """Eq. (2): max over every (qe, qa) grid pair of SubOpt(qe, qa).
+
+        Vectorised per plan: for each plan that is optimal somewhere (a
+        potential ``P_qe``), take the max ratio of its cost to the
+        optimal cost over the whole grid.
+        """
+        space = self.space
+        opt = space.opt_cost
+        worst = 1.0
+        for plan_id in np.unique(space.plan_at):
+            ratio = space.plans[int(plan_id)].cost / opt
+            worst = max(worst, float(ratio.max()))
+        return worst
+
+    def mso_guarantee(self):
+        return None  # the whole point: no bound exists

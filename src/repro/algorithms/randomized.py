@@ -1,0 +1,66 @@
+"""Randomized PlanBouquet (expected-case variant of the baseline).
+
+The plan-bouquet work this paper builds on ([1], §5 there) observes that
+the *order* in which a contour's plans are executed is adversarially
+chosen in the worst-case analysis; randomising the order leaves the
+``4(1+lam)rho`` worst-case guarantee intact (every ordering satisfies
+it) while halving the expected number of failed executions on the
+completing contour. This variant makes the claim measurable next to the
+deterministic baseline.
+
+The shuffle is derived deterministically from ``(seed, qa)`` so sweeps
+remain reproducible.
+"""
+
+import numpy as np
+
+from repro.algorithms.base import ExecutionRecord, RunResult
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.common.errors import DiscoveryError
+
+
+class RandomizedPlanBouquet(PlanBouquet):
+    """PlanBouquet with per-run random plan order within contours."""
+
+    name = "planbouquet-rand"
+
+    def __init__(self, space, contours=None, lam=0.2, reduce=True,
+                 seed=0):
+        super().__init__(space, contours, lam=lam, reduce=reduce)
+        self.seed = seed
+
+    def _shuffled(self, plans, qa_index):
+        rng = np.random.default_rng(
+            (self.seed,) + tuple(int(i) for i in qa_index))
+        order = list(plans)
+        rng.shuffle(order)
+        return order
+
+    def run(self, qa_index, engine=None):
+        qa_index = tuple(qa_index)
+        engine = engine or self.engine_for(qa_index)
+        factor = self.budget_factor()
+        spent = 0.0
+        records = []
+        for i in range(len(self.contours)):
+            budget = self.contours.cost(i) * factor
+            for plan_id in self._shuffled(self.contour_plans[i], qa_index):
+                outcome = engine.execute(self.space.plans[plan_id], budget)
+                spent += outcome.spent
+                records.append(ExecutionRecord(
+                    contour=i,
+                    plan_id=plan_id,
+                    mode="regular",
+                    epp=None,
+                    budget=budget,
+                    spent=outcome.spent,
+                    completed=outcome.completed,
+                ))
+                if outcome.completed:
+                    return RunResult(
+                        self.name, qa_index, spent,
+                        engine.optimal_cost, records,
+                    )
+        raise DiscoveryError(
+            "RandomizedPlanBouquet exhausted all contours"
+        )

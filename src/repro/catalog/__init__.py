@@ -1,0 +1,16 @@
+"""Database catalog: schemas, statistics, benchmark catalogs, data generation."""
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.catalog.tpcds import tpcds_catalog
+from repro.catalog.job import job_catalog
+from repro.catalog.datagen import generate_rows, generate_database
+
+__all__ = [
+    "Catalog",
+    "Table",
+    "Column",
+    "tpcds_catalog",
+    "job_catalog",
+    "generate_rows",
+    "generate_database",
+]

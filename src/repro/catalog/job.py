@@ -1,0 +1,70 @@
+"""An IMDB-shaped catalog for the Join Order Benchmark (JOB).
+
+Sizes follow the May-2013 IMDB snapshot used by Leis et al. ("How Good
+Are Query Optimizers, Really?", VLDB 2016), which the paper evaluates in
+Section 6.5. Only the tables touched by query 1a (and near relatives)
+are modelled.
+"""
+
+from repro.catalog.schema import Catalog, Column, Table
+
+
+def job_catalog():
+    """Build the IMDB catalog used for the JOB experiments."""
+    return Catalog(
+        "imdb_job",
+        [
+            Table(
+                "title",
+                2_528_312,
+                [
+                    Column("id", 2_528_312, indexed=True),
+                    Column("kind_id", 7, lo=1, hi=7),
+                    Column("production_year", 133, lo=1880, hi=2019),
+                ],
+            ),
+            Table(
+                "movie_companies",
+                2_609_129,
+                [
+                    Column("movie_id", 1_087_236),
+                    Column("company_id", 234_997),
+                    Column("company_type_id", 2, lo=1, hi=2),
+                    Column("note", 134_469, width=32, lo=0, hi=134_469),
+                ],
+            ),
+            Table(
+                "movie_info_idx",
+                1_380_035,
+                [
+                    Column("movie_id", 459_925),
+                    Column("info_type_id", 5, lo=99, hi=113),
+                    Column("info", 124_286, width=16, lo=0, hi=124_286),
+                ],
+            ),
+            Table(
+                "company_type",
+                4,
+                [
+                    Column("id", 4, indexed=True),
+                    Column("kind", 4, width=24, lo=0, hi=4),
+                ],
+            ),
+            Table(
+                "info_type",
+                113,
+                [
+                    Column("id", 113, indexed=True),
+                    Column("info", 113, width=24, lo=0, hi=113),
+                ],
+            ),
+            Table(
+                "company_name",
+                234_997,
+                [
+                    Column("id", 234_997, indexed=True),
+                    Column("country_code", 84, width=4, lo=0, hi=84),
+                ],
+            ),
+        ],
+    )

@@ -1,0 +1,160 @@
+"""Schema and statistics objects.
+
+A :class:`Catalog` is the static world the optimizer sees: tables with row
+counts, columns with widths and number-of-distinct-values (NDV), and
+primary/foreign key relationships. Statistics are deliberately simple --
+uniform-distribution NDV stats, exactly the level of fidelity a textbook
+Selinger optimizer consumes -- because the robustness algorithms under
+study are precisely about surviving the failure of such statistics.
+"""
+
+from repro.common.errors import CatalogError
+
+#: Default page size used to convert row widths into page counts.
+PAGE_SIZE_BYTES = 8192
+
+
+class Column:
+    """A column with the statistics the cost model needs.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    ndv:
+        Number of distinct values; drives join/filter selectivity estimates.
+    width:
+        Average width in bytes; drives page counts and hash/sort footprints.
+    lo, hi:
+        Value bounds for range-filter selectivity estimation.
+    """
+
+    __slots__ = ("name", "ndv", "width", "lo", "hi", "indexed", "table")
+
+    def __init__(self, name, ndv, width=8, lo=0.0, hi=1.0, indexed=False):
+        if ndv <= 0:
+            raise CatalogError("column %r must have positive ndv" % name)
+        if width <= 0:
+            raise CatalogError("column %r must have positive width" % name)
+        if hi < lo:
+            raise CatalogError("column %r has hi < lo" % name)
+        self.name = name
+        self.ndv = int(ndv)
+        self.width = int(width)
+        self.lo = float(lo)
+        self.hi = float(hi)
+        #: Whether an (equality-lookup) index exists on this column,
+        #: enabling index nested-loop joins with this side as the inner.
+        self.indexed = bool(indexed)
+        self.table = None  # back-reference set by Table
+
+    @property
+    def qualified_name(self):
+        """``table.column`` string, usable as a stable identifier."""
+        prefix = self.table.name if self.table is not None else "?"
+        return "%s.%s" % (prefix, self.name)
+
+    def __repr__(self):
+        return "Column(%s, ndv=%d)" % (self.qualified_name, self.ndv)
+
+
+class Table:
+    """A base relation: named columns plus a row count."""
+
+    def __init__(self, name, row_count, columns):
+        if row_count <= 0:
+            raise CatalogError("table %r must have positive row count" % name)
+        self.name = name
+        self.row_count = int(row_count)
+        self.columns = {}
+        for col in columns:
+            if col.name in self.columns:
+                raise CatalogError(
+                    "duplicate column %r in table %r" % (col.name, name)
+                )
+            col.table = self
+            self.columns[col.name] = col
+
+    def column(self, name):
+        """Look up a column by name, raising :class:`CatalogError` if absent."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                "table %r has no column %r" % (self.name, name)
+            ) from None
+
+    @property
+    def row_width(self):
+        """Total average tuple width in bytes."""
+        return sum(col.width for col in self.columns.values())
+
+    @property
+    def pages(self):
+        """Number of pages the table occupies (ceiling division)."""
+        rows_per_page = max(1, PAGE_SIZE_BYTES // max(1, self.row_width))
+        return max(1, -(-self.row_count // rows_per_page))
+
+    def __repr__(self):
+        return "Table(%s, rows=%d, cols=%d)" % (
+            self.name,
+            self.row_count,
+            len(self.columns),
+        )
+
+
+class Catalog:
+    """A collection of tables; the optimizer's static input."""
+
+    def __init__(self, name, tables):
+        self.name = name
+        self.tables = {}
+        for table in tables:
+            if table.name in self.tables:
+                raise CatalogError("duplicate table %r" % table.name)
+            self.tables[table.name] = table
+
+    def table(self, name):
+        """Look up a table by name, raising :class:`CatalogError` if absent."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError("catalog has no table %r" % name) from None
+
+    def column(self, qualified_name):
+        """Resolve a ``table.column`` string to its :class:`Column`."""
+        try:
+            table_name, col_name = qualified_name.split(".", 1)
+        except ValueError:
+            raise CatalogError(
+                "expected 'table.column', got %r" % qualified_name
+            ) from None
+        return self.table(table_name).column(col_name)
+
+    def scaled(self, factor, name=None):
+        """Return a copy with every row count multiplied by ``factor``.
+
+        NDVs for key-like columns (ndv close to the row count) scale with
+        the table; other NDVs are left alone, mimicking dimension-style
+        attributes whose domain does not grow with data volume.
+        """
+        if factor <= 0:
+            raise CatalogError("scale factor must be positive")
+        tables = []
+        for table in self.tables.values():
+            new_rows = max(1, int(round(table.row_count * factor)))
+            cols = []
+            for col in table.columns.values():
+                key_like = col.ndv >= 0.5 * table.row_count
+                ndv = max(1, int(round(col.ndv * factor))) if key_like else col.ndv
+                ndv = min(ndv, new_rows) if key_like else ndv
+                cols.append(Column(col.name, ndv, col.width, col.lo,
+                                   col.hi, indexed=col.indexed))
+            tables.append(Table(table.name, new_rows, cols))
+        return Catalog(name or ("%s@%g" % (self.name, factor)), tables)
+
+    def __contains__(self, name):
+        return name in self.tables
+
+    def __repr__(self):
+        return "Catalog(%s, %d tables)" % (self.name, len(self.tables))

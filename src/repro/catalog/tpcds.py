@@ -1,0 +1,230 @@
+"""A TPC-DS-shaped catalog.
+
+Row counts follow the official TPC-DS scale-factor tables (the paper runs
+at SF-100, i.e. 100 GB); only the columns referenced by the benchmark
+queries used in the paper (Q7, Q15, Q18, Q19, Q26, Q27, Q29, Q84, Q91,
+Q96) are modelled. NDVs are taken from the generator's documented domain
+sizes where known and sensible approximations otherwise.
+
+The catalog is *statistics only*: actual rows, when needed by the
+row-level executor, are produced by :mod:`repro.catalog.datagen` at a much
+smaller scale.
+"""
+
+from repro.catalog.schema import Catalog, Column, Table
+
+#: Scale factor the row counts below correspond to (100 => ~100 GB).
+DEFAULT_SCALE_FACTOR = 100
+
+
+def tpcds_catalog(scale_factor=DEFAULT_SCALE_FACTOR):
+    """Build the TPC-DS catalog at ``scale_factor`` (100 = paper's setup).
+
+    Row counts are defined at SF-100 and scaled linearly for fact tables;
+    dimension tables use the (sub-linear) sizes mandated by the benchmark,
+    approximated here by scaling key-like NDVs only.
+    """
+    catalog = Catalog(
+        "tpcds_sf100",
+        [
+            Table(
+                "store_sales",
+                287_997_024,
+                [
+                    Column("ss_sold_date_sk", 73_049),
+                    Column("ss_sold_time_sk", 86_400),
+                    Column("ss_item_sk", 204_000),
+                    Column("ss_customer_sk", 2_000_000),
+                    Column("ss_cdemo_sk", 1_920_800),
+                    Column("ss_hdemo_sk", 7_200),
+                    Column("ss_store_sk", 402),
+                    Column("ss_promo_sk", 1_000),
+                    Column("ss_ticket_number", 24_000_000),
+                    Column("ss_quantity", 100, lo=1, hi=100),
+                    Column("ss_sales_price", 20_000, lo=0, hi=200),
+                ],
+            ),
+            Table(
+                "store_returns",
+                28_795_080,
+                [
+                    Column("sr_returned_date_sk", 73_049),
+                    Column("sr_item_sk", 204_000),
+                    Column("sr_customer_sk", 2_000_000),
+                    Column("sr_cdemo_sk", 1_920_800),
+                    Column("sr_ticket_number", 24_000_000),
+                    Column("sr_return_quantity", 100, lo=1, hi=100),
+                ],
+            ),
+            Table(
+                "catalog_sales",
+                143_997_065,
+                [
+                    Column("cs_sold_date_sk", 73_049),
+                    Column("cs_item_sk", 204_000),
+                    Column("cs_bill_customer_sk", 2_000_000),
+                    Column("cs_bill_cdemo_sk", 1_920_800),
+                    Column("cs_ship_addr_sk", 1_000_000),
+                    Column("cs_call_center_sk", 30),
+                    Column("cs_promo_sk", 1_000),
+                    Column("cs_quantity", 100, lo=1, hi=100),
+                    Column("cs_sales_price", 20_000, lo=0, hi=200),
+                ],
+            ),
+            Table(
+                "catalog_returns",
+                14_404_374,
+                [
+                    Column("cr_returned_date_sk", 73_049),
+                    Column("cr_item_sk", 204_000),
+                    Column("cr_returning_customer_sk", 2_000_000),
+                    Column("cr_call_center_sk", 30),
+                    Column("cr_return_amount", 100_000, lo=0, hi=10_000),
+                ],
+            ),
+            Table(
+                "web_sales",
+                72_001_237,
+                [
+                    Column("ws_sold_date_sk", 73_049),
+                    Column("ws_item_sk", 204_000),
+                    Column("ws_bill_customer_sk", 2_000_000),
+                    Column("ws_web_site_sk", 24),
+                ],
+            ),
+            Table(
+                "customer",
+                2_000_000,
+                [
+                    Column("c_customer_sk", 2_000_000, indexed=True),
+                    Column("c_current_addr_sk", 1_000_000),
+                    Column("c_current_cdemo_sk", 1_920_800),
+                    Column("c_current_hdemo_sk", 7_200),
+                    Column("c_birth_year", 69, lo=1924, hi=1992),
+                    Column("c_birth_month", 12, lo=1, hi=12),
+                ],
+            ),
+            Table(
+                "customer_address",
+                1_000_000,
+                [
+                    Column("ca_address_sk", 1_000_000, indexed=True),
+                    Column("ca_state", 51, width=2, lo=0, hi=51),
+                    Column("ca_country", 1, width=16),
+                    Column("ca_gmt_offset", 7, lo=-10, hi=-4),
+                    Column("ca_city", 977, width=16, lo=0, hi=977),
+                ],
+            ),
+            Table(
+                "customer_demographics",
+                1_920_800,
+                [
+                    Column("cd_demo_sk", 1_920_800, indexed=True),
+                    Column("cd_gender", 2, width=1, lo=0, hi=2),
+                    Column("cd_marital_status", 5, width=1, lo=0, hi=5),
+                    Column("cd_education_status", 7, width=8, lo=0, hi=7),
+                ],
+            ),
+            Table(
+                "household_demographics",
+                7_200,
+                [
+                    Column("hd_demo_sk", 7_200, indexed=True),
+                    Column("hd_income_band_sk", 20),
+                    Column("hd_buy_potential", 6, width=8, lo=0, hi=6),
+                    Column("hd_dep_count", 10, lo=0, hi=9),
+                    Column("hd_vehicle_count", 6, lo=-1, hi=4),
+                ],
+            ),
+            Table(
+                "income_band",
+                20,
+                [
+                    Column("ib_income_band_sk", 20, indexed=True),
+                    Column("ib_lower_bound", 20, lo=0, hi=190_000),
+                    Column("ib_upper_bound", 20, lo=10_000, hi=200_000),
+                ],
+            ),
+            Table(
+                "date_dim",
+                73_049,
+                [
+                    Column("d_date_sk", 73_049, indexed=True),
+                    Column("d_year", 200, lo=1900, hi=2100),
+                    Column("d_moy", 12, lo=1, hi=12),
+                    Column("d_dom", 31, lo=1, hi=31),
+                    Column("d_qoy", 4, lo=1, hi=4),
+                ],
+            ),
+            Table(
+                "time_dim",
+                86_400,
+                [
+                    Column("t_time_sk", 86_400, indexed=True),
+                    Column("t_hour", 24, lo=0, hi=23),
+                    Column("t_minute", 60, lo=0, hi=59),
+                ],
+            ),
+            Table(
+                "item",
+                204_000,
+                [
+                    Column("i_item_sk", 204_000, indexed=True),
+                    Column("i_category", 10, width=16, lo=0, hi=10),
+                    Column("i_manager_id", 100, lo=1, hi=100),
+                    Column("i_manufact_id", 1_000, lo=1, hi=1_000),
+                    Column("i_current_price", 10_000, lo=0.09, hi=99.99),
+                ],
+            ),
+            Table(
+                "store",
+                402,
+                [
+                    Column("s_store_sk", 402, indexed=True),
+                    Column("s_state", 9, width=2, lo=0, hi=9),
+                    Column("s_number_employees", 100, lo=200, hi=300),
+                ],
+            ),
+            Table(
+                "call_center",
+                30,
+                [
+                    Column("cc_call_center_sk", 30, indexed=True),
+                    Column("cc_employees", 30, lo=1, hi=700_000),
+                ],
+            ),
+            Table(
+                "promotion",
+                1_000,
+                [
+                    Column("p_promo_sk", 1_000, indexed=True),
+                    Column("p_channel_email", 2, width=1, lo=0, hi=2),
+                    Column("p_channel_event", 2, width=1, lo=0, hi=2),
+                ],
+            ),
+            Table(
+                "warehouse",
+                15,
+                [
+                    Column("w_warehouse_sk", 15, indexed=True),
+                    Column("w_state", 9, width=2, lo=0, hi=9),
+                ],
+            ),
+        ],
+    )
+    if scale_factor == DEFAULT_SCALE_FACTOR:
+        return catalog
+    return catalog.scaled(scale_factor / DEFAULT_SCALE_FACTOR,
+                          name="tpcds_sf%g" % scale_factor)
+
+
+def mini_tpcds_catalog(rows_cap=20_000):
+    """A shrunken TPC-DS catalog suitable for the row-level executor.
+
+    Fact tables are capped at ``rows_cap`` rows; dimension tables shrink
+    proportionally but never below a handful of rows, so join fan-outs
+    remain realistic at laptop scale.
+    """
+    base = tpcds_catalog()
+    biggest = max(t.row_count for t in base.tables.values())
+    return base.scaled(rows_cap / biggest, name="tpcds_mini")

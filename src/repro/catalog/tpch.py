@@ -1,0 +1,56 @@
+"""A TPC-H-shaped catalog.
+
+The PlanBouquet work this paper extends ([1]) was evaluated on TPC-H as
+well as TPC-DS; the bonus workloads in
+:mod:`repro.harness.tpch_workloads` reproduce its SPJ cores. Row counts
+follow the TPC-H specification at a configurable scale factor (SF-1 =
+~1 GB; the plan-bouquet studies used SF-1 and SF-10).
+"""
+
+from repro.catalog.schema import Catalog, Column, Table
+
+
+def tpch_catalog(scale_factor=10):
+    """Build the TPC-H catalog at ``scale_factor`` (10 = ~10 GB)."""
+    sf = scale_factor
+    return Catalog(
+        "tpch_sf%g" % sf,
+        [
+            Table("lineitem", int(6_000_000 * sf), [
+                Column("l_orderkey", int(1_500_000 * sf)),
+                Column("l_partkey", int(200_000 * sf)),
+                Column("l_suppkey", int(10_000 * sf)),
+                Column("l_quantity", 50, lo=1, hi=50),
+                Column("l_extendedprice", 100_000, lo=900, hi=105_000),
+                Column("l_shipdate", 2_526, lo=0, hi=2_526),
+            ]),
+            Table("orders", int(1_500_000 * sf), [
+                Column("o_orderkey", int(1_500_000 * sf), indexed=True),
+                Column("o_custkey", int(100_000 * sf)),
+                Column("o_orderdate", 2_406, lo=0, hi=2_406),
+                Column("o_totalprice", 150_000, lo=850, hi=560_000),
+            ]),
+            Table("customer", int(150_000 * sf), [
+                Column("c_custkey", int(150_000 * sf), indexed=True),
+                Column("c_nationkey", 25, lo=0, hi=25),
+                Column("c_acctbal", 140_000, lo=-1_000, hi=10_000),
+            ]),
+            Table("part", int(200_000 * sf), [
+                Column("p_partkey", int(200_000 * sf), indexed=True),
+                Column("p_retailprice", 30_000, lo=900, hi=2_100),
+                Column("p_size", 50, lo=1, hi=50),
+            ]),
+            Table("supplier", int(10_000 * sf), [
+                Column("s_suppkey", int(10_000 * sf), indexed=True),
+                Column("s_nationkey", 25, lo=0, hi=25),
+                Column("s_acctbal", 9_000, lo=-1_000, hi=10_000),
+            ]),
+            Table("nation", 25, [
+                Column("n_nationkey", 25, indexed=True),
+                Column("n_regionkey", 5, lo=0, hi=5),
+            ]),
+            Table("region", 5, [
+                Column("r_regionkey", 5, indexed=True),
+            ]),
+        ],
+    )

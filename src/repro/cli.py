@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the registered benchmark workloads.
+``guarantee WORKLOAD``
+    Print the MSO guarantees for a workload (PB needs the space; SB's is
+    known from the query alone, the paper's headline property).
+``run WORKLOAD --qa i,j,...``
+    Simulate one discovery run at a hidden truth and print the trace.
+``sweep WORKLOAD``
+    Exhaustive empirical MSO/ASO for PB, SB and AB.
+``epps WORKLOAD``
+    Rank the workload's join predicates by estimated error-proneness.
+``experiment NAME``
+    Regenerate one of the paper's tables/figures (fig8, fig9, fig10,
+    fig12, fig13, table2, table3, table4, wallclock, job,
+    ablation-ratio, ablation-anorexic).
+"""
+
+import argparse
+import sys
+
+from repro.algorithms import AlignedBound, PlanBouquet, SpillBound
+from repro.algorithms.spillbound import spillbound_guarantee
+from repro.common.reporting import format_table
+from repro.ess.contours import ContourSet
+from repro.harness import experiments
+from repro.harness.epp_selection import rank_epps
+from repro.harness.workloads import _BUILDERS, build_space, workload
+from repro.metrics.mso import exhaustive_sweep
+
+EXPERIMENTS = {
+    "fig8": lambda args: experiments.fig8_mso_guarantees(
+        resolution=args.resolution),
+    "fig9": lambda args: experiments.fig9_dimensionality(
+        resolution=args.resolution),
+    "fig10": lambda args: experiments.fig10_11_empirical(
+        resolution=args.resolution, sweep_sample=args.sample),
+    "fig12": lambda args: experiments.fig12_distribution(
+        resolution=args.resolution, sweep_sample=args.sample),
+    "fig13": lambda args: experiments.fig13_ab_mso(
+        resolution=args.resolution, sweep_sample=args.sample),
+    "table2": lambda args: experiments.table2_alignment(
+        resolution=args.resolution),
+    "table3": lambda args: experiments.table3_trace(
+        resolution=args.resolution),
+    "table4": lambda args: experiments.table4_ab_penalty(
+        resolution=args.resolution, sweep_sample=args.sample or 500),
+    "wallclock": lambda args: experiments.wallclock_experiment(),
+    "job": lambda args: experiments.job_experiment(
+        resolution=args.resolution, sweep_sample=args.sample),
+    "ablation-ratio": lambda args: experiments.ablation_cost_ratio(
+        resolution=args.resolution, sweep_sample=args.sample),
+    "ablation-anorexic": lambda args: experiments.ablation_anorexic(
+        resolution=args.resolution, sweep_sample=args.sample),
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Platform-independent robust query processing "
+                    "(SpillBound / AlignedBound reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    p = sub.add_parser("guarantee", help="print MSO guarantees")
+    p.add_argument("workload")
+    p.add_argument("--resolution", type=int, default=None)
+
+    p = sub.add_parser("run", help="simulate one discovery run")
+    p.add_argument("workload")
+    p.add_argument("--qa", default=None,
+                   help="comma-separated grid indices of the hidden truth")
+    p.add_argument("--algorithm", default="spillbound",
+                   choices=("planbouquet", "spillbound", "alignedbound"))
+    p.add_argument("--resolution", type=int, default=None)
+
+    p = sub.add_parser("sweep", help="exhaustive empirical MSO/ASO")
+    p.add_argument("workload")
+    p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--sample", type=int, default=None)
+
+    p = sub.add_parser("epps", help="rank predicates by error-proneness")
+    p.add_argument("workload")
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--sample", type=int, default=None)
+
+    p = sub.add_parser("figures", help="export SVG figures for a 2D "
+                                       "workload")
+    p.add_argument("workload")
+    p.add_argument("--resolution", type=int, default=32)
+    p.add_argument("--out", default=".")
+
+    p = sub.add_parser("build", help="build a space and save it to disk")
+    p.add_argument("workload")
+    p.add_argument("path")
+    p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--mode", default="fast", choices=("fast", "exact"))
+
+    p = sub.add_parser("reproduce",
+                       help="regenerate every paper artifact into one "
+                            "markdown report")
+    p.add_argument("--out", default="reproduction_report.md")
+    p.add_argument("--full", action="store_true",
+                   help="benchmark-suite fidelity (slow); default is a "
+                        "quick pass")
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "list":
+        rows = []
+        for name in sorted(_BUILDERS):
+            query = workload(name)
+            rows.append((name, query.dimensions, len(query.tables),
+                         len(query.joins), query.catalog.name))
+        out.write(format_table(
+            ["workload", "D", "relations", "joins", "catalog"], rows,
+            title="Registered workloads") + "\n")
+        return 0
+
+    if args.command == "guarantee":
+        query = workload(args.workload)
+        space = build_space(query, resolution=args.resolution)
+        contours = ContourSet(space)
+        pb = PlanBouquet(space, contours)
+        d = query.dimensions
+        rows = [
+            ("planbouquet", "4(1+lam)rho", pb.mso_guarantee()),
+            ("spillbound", "D^2+3D", spillbound_guarantee(d)),
+            ("alignedbound (lower)", "2D+2", 2.0 * d + 2.0),
+            ("alignedbound (upper)", "D^2+3D", spillbound_guarantee(d)),
+        ]
+        out.write(format_table(
+            ["algorithm", "formula", "MSO guarantee"], rows,
+            title="MSO guarantees for %s (D=%d)" % (query.name, d))
+            + "\n")
+        return 0
+
+    if args.command == "run":
+        query = workload(args.workload)
+        space = build_space(query, resolution=args.resolution)
+        contours = ContourSet(space)
+        algorithm = {
+            "planbouquet": PlanBouquet,
+            "spillbound": SpillBound,
+            "alignedbound": AlignedBound,
+        }[args.algorithm](space, contours)
+        if args.qa:
+            qa = tuple(int(x) for x in args.qa.split(","))
+        else:
+            qa = tuple(int(r * 0.7) for r in space.grid.shape)
+        result = algorithm.run(qa)
+        rows = [
+            (r.contour + 1, r.mode, "P%d" % (r.plan_id + 1),
+             r.epp or "-", r.budget, r.spent,
+             "yes" if r.completed else "no")
+            for r in result.executions
+        ]
+        out.write(format_table(
+            ["contour", "mode", "plan", "epp", "budget", "spent", "done"],
+            rows,
+            title="%s at qa=%s: sub-optimality %.2f" %
+                  (algorithm.name, qa, result.sub_optimality)) + "\n")
+        return 0
+
+    if args.command == "sweep":
+        query = workload(args.workload)
+        space = build_space(query, resolution=args.resolution)
+        contours = ContourSet(space)
+        rows = []
+        for cls in (PlanBouquet, SpillBound, AlignedBound):
+            algorithm = cls(space, contours)
+            sweep = exhaustive_sweep(algorithm, sample=args.sample)
+            rows.append((algorithm.name, algorithm.mso_guarantee(),
+                         sweep.mso, sweep.aso))
+        out.write(format_table(
+            ["algorithm", "MSOg", "MSOe", "ASO"], rows,
+            title="Empirical robustness for %s (%d locations)" %
+                  (query.name, space.grid.size)) + "\n")
+        return 0
+
+    if args.command == "epps":
+        query = workload(args.workload)
+        ranking = rank_epps(query)
+        out.write(format_table(
+            ["predicate", "optimal-cost spread"], ranking.scores,
+            title="Error-proneness ranking for %s" % query.name) + "\n")
+        return 0
+
+    if args.command == "experiment":
+        report = EXPERIMENTS[args.name](args)
+        out.write(report.render() + "\n")
+        return 0
+
+    if args.command == "figures":
+        import os
+
+        from repro.viz.svg import (
+            render_contour_svg,
+            render_plan_diagram_svg,
+            render_trace_svg,
+        )
+        query = workload(args.workload)
+        space = build_space(query, resolution=args.resolution)
+        contours = ContourSet(space)
+        os.makedirs(args.out, exist_ok=True)
+        prefix = os.path.join(args.out, query.name)
+        render_plan_diagram_svg(space, path=prefix + "_plan_diagram.svg")
+        render_contour_svg(space, contours, path=prefix + "_contours.svg")
+        result = SpillBound(space, contours).run(
+            tuple(int(r * 0.7) for r in space.grid.shape))
+        render_trace_svg(space, contours, result,
+                         path=prefix + "_trace.svg")
+        out.write("wrote %s_{plan_diagram,contours,trace}.svg\n" % prefix)
+        return 0
+
+    if args.command == "build":
+        from repro.ess.persistence import save_space
+        from repro.ess.space import ExplorationSpace
+        query = workload(args.workload)
+        space = ExplorationSpace(query, resolution=args.resolution)
+        space.build(mode=args.mode)
+        save_space(space, args.path)
+        out.write(
+            "saved %s (grid %s, %d plans) to %s\n"
+            % (query.name, space.grid.shape, len(space.plans), args.path))
+        return 0
+
+    if args.command == "reproduce":
+        from repro.harness.reproduce import full_reproduction
+        text = full_reproduction(
+            quick=not args.full,
+            progress=lambda title: out.write("... %s\n" % title),
+        )
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        out.write("wrote %s\n" % args.out)
+        return 0
+
+    raise AssertionError("unhandled command %r" % args.command)

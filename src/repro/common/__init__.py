@@ -1,0 +1,22 @@
+"""Shared infrastructure: errors, deterministic RNG helpers, reporting."""
+
+from repro.common.errors import (
+    BudgetExhaustedError,
+    CatalogError,
+    OptimizerError,
+    QueryError,
+    ReproError,
+)
+from repro.common.rng import make_rng
+from repro.common.reporting import Report, format_table
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "QueryError",
+    "OptimizerError",
+    "BudgetExhaustedError",
+    "make_rng",
+    "Report",
+    "format_table",
+]

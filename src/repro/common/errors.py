@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """Raised for malformed schemas, unknown tables/columns, or bad stats."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (disconnected join graphs, bad epps)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when plan enumeration cannot produce a valid plan."""
+
+
+class PlanError(ReproError):
+    """Raised for structurally invalid plan trees."""
+
+
+class ExecutionError(ReproError):
+    """Raised for executor failures unrelated to budget expiry."""
+
+
+class BudgetExhaustedError(ExecutionError):
+    """Raised by the row executor when a cost budget expires mid-execution.
+
+    Carries the selectivity information observed up to the abort point so
+    that discovery algorithms can exploit partial executions.
+    """
+
+    def __init__(self, message, observed=None, spent=None):
+        super().__init__(message)
+        #: Mapping of monitored node id -> rows observed before the abort.
+        self.observed = observed or {}
+        #: Cost units spent before the abort.
+        self.spent = spent
+
+
+class DiscoveryError(ReproError):
+    """Raised when a discovery algorithm reaches an inconsistent state."""

@@ -1,0 +1,62 @@
+"""Lightweight tabular reporting used by the benchmark harness.
+
+The paper's evaluation section is a collection of tables and bar charts;
+the harness renders each as an aligned ASCII table so results can be
+eyeballed in a terminal and diffed across runs.
+"""
+
+
+def format_table(headers, rows, title=None, floatfmt="{:.2f}"):
+    """Render ``rows`` (sequences of cells) under ``headers`` as a string.
+
+    Numeric cells are formatted with ``floatfmt``; everything else via
+    ``str``. Column widths are computed from content.
+    """
+    def fmt(cell):
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+class Report:
+    """Accumulates named result tables for an experiment run."""
+
+    def __init__(self, name):
+        self.name = name
+        self.tables = []
+
+    def add_table(self, title, headers, rows):
+        """Record a table; returns the rows for chaining."""
+        self.tables.append((title, list(headers), [list(r) for r in rows]))
+        return rows
+
+    def render(self):
+        """Render every recorded table, separated by blank lines."""
+        chunks = ["# %s" % self.name]
+        for title, headers, rows in self.tables:
+            chunks.append(format_table(headers, rows, title=title))
+        return "\n\n".join(chunks)
+
+    def __str__(self):
+        return self.render()

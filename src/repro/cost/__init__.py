@@ -1,0 +1,7 @@
+"""Plan cost model: operator cost functions and cardinality calculus."""
+
+from repro.cost.params import CostParams
+from repro.cost.cardinality import SelectivityEstimator
+from repro.cost.model import CostModel, PlanCosting
+
+__all__ = ["CostParams", "SelectivityEstimator", "CostModel", "PlanCosting"]

@@ -1,0 +1,49 @@
+"""Textbook selectivity estimation (the part the paper distrusts).
+
+The estimator implements the classical System-R rules: ``1/max(ndv)`` for
+equi-joins, domain-fraction for range filters, ``1/ndv`` for equality
+filters, and attribute-value independence across conjuncts. These
+estimates drive the *native optimizer* baseline; the discovery algorithms
+only use them for predicates declared error-free.
+"""
+
+from repro.common.errors import QueryError
+from repro.query.predicates import FilterPredicate, JoinPredicate
+
+#: Selectivities are clamped below by this to avoid degenerate zero costs.
+MIN_SELECTIVITY = 1e-12
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivities from catalog statistics."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def join_selectivity(self, join):
+        """System-R estimate: ``1 / max(ndv_left, ndv_right)``."""
+        left = self.catalog.column(join.left)
+        right = self.catalog.column(join.right)
+        return max(MIN_SELECTIVITY, 1.0 / max(left.ndv, right.ndv))
+
+    def filter_selectivity(self, filt):
+        """Range filters use domain fraction; equality uses ``1/ndv``."""
+        column = self.catalog.column(filt.column)
+        if filt.op == "=":
+            return max(MIN_SELECTIVITY, 1.0 / column.ndv)
+        span = column.hi - column.lo
+        if span <= 0:
+            return 1.0
+        if filt.op in ("<", "<="):
+            fraction = (filt.constant - column.lo) / span
+        else:  # ">" or ">="
+            fraction = (column.hi - filt.constant) / span
+        return float(min(1.0, max(MIN_SELECTIVITY, fraction)))
+
+    def estimate(self, predicate):
+        """Dispatch on predicate type."""
+        if isinstance(predicate, JoinPredicate):
+            return self.join_selectivity(predicate)
+        if isinstance(predicate, FilterPredicate):
+            return self.filter_selectivity(predicate)
+        raise QueryError("cannot estimate %r" % (predicate,))

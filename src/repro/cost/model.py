@@ -1,0 +1,258 @@
+"""Plan costing: cardinality propagation plus operator cost functions.
+
+:class:`CostModel` evaluates a plan tree under a *selectivity
+assignment*: a mapping from predicate names to selectivities. Predicates
+absent from the assignment fall back to catalog estimates, so the same
+evaluator serves the native optimizer (all estimated), the oracle (all
+true), and the discovery algorithms (epps injected, the rest estimated).
+
+Assignment values may be scalars **or numpy arrays**; in the latter case
+cardinalities and costs broadcast element-wise, which is how POSP/plan
+diagrams over entire selectivity grids are computed in a handful of numpy
+operations per plan instead of one optimizer call per grid cell.
+
+Cost functions (per node, summed over the tree):
+
+========================  ====================================================
+SeqScan                   pages * seq_page + N * cpu_tuple + N * k * cpu_op
+HashJoin                  |R| * hash_build + |L| * hash_probe + |out| * output
+MergeJoin                 sort(L) + sort(R) + (|L|+|R|) * cpu_op + |out| * output
+NestedLoopJoin            |R| * materialize + |L|*|R| * nl_compare + |out| * output
+========================  ====================================================
+
+with ``sort(N) = sort_factor * cpu_op * N * log2(max(N, 2))``.
+
+Plan Cost Monotonicity (PCM) holds by construction: every predicate's
+selectivity scales the output cardinality of the node applying it, and
+output rows always contribute positive cost downstream.
+"""
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.cost.cardinality import SelectivityEstimator
+from repro.cost.params import CostParams
+from repro.plans.nodes import (
+    HashJoin,
+    IndexNLJoin,
+    JoinNode,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+)
+
+
+class PlanCosting:
+    """Result of costing one plan under one selectivity assignment.
+
+    Attributes
+    ----------
+    rows:
+        ``{node_id: output cardinality}`` (scalar or array).
+    costs:
+        ``{node_id: cost of that node alone}``.
+    total:
+        Sum of all node costs (the plan cost the optimizer minimises).
+    """
+
+    __slots__ = ("plan", "rows", "costs", "total")
+
+    def __init__(self, plan, rows, costs, total):
+        self.plan = plan
+        self.rows = rows
+        self.costs = costs
+        self.total = total
+
+    @property
+    def root_rows(self):
+        """Output cardinality of the whole plan."""
+        return self.rows[self.plan.node_id]
+
+    def subtree_cost(self, node):
+        """Sum of node costs in the subtree rooted at ``node``.
+
+        This is exactly the cost charged to a *spill-mode* execution that
+        truncates the plan at ``node`` (paper §3.1.2).
+        """
+        return sum(self.costs[member.node_id] for member in node.walk())
+
+
+class CostModel:
+    """Costs plans over a catalog with injectable predicate selectivities."""
+
+    def __init__(self, query, params=None):
+        self.query = query
+        self.catalog = query.catalog
+        self.params = params or CostParams()
+        self.estimator = SelectivityEstimator(self.catalog)
+        # Pre-resolve estimates once; predicates are immutable.
+        self._estimates = {
+            name: self.estimator.estimate(pred)
+            for name, pred in query.predicates.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    def selectivity(self, predicate_name, assignment):
+        """Assigned selectivity if present, catalog estimate otherwise."""
+        if assignment and predicate_name in assignment:
+            return assignment[predicate_name]
+        try:
+            return self._estimates[predicate_name]
+        except KeyError:
+            raise PlanError(
+                "plan references unknown predicate %r" % predicate_name
+            ) from None
+
+    def cost(self, plan, assignment=None):
+        """Total plan cost (scalar or array, matching the assignment)."""
+        return self.evaluate(plan, assignment).total
+
+    def evaluate(self, plan, assignment=None):
+        """Full costing of a finalised plan; returns :class:`PlanCosting`."""
+        if plan.node_id is None:
+            raise PlanError("plan must be finalised before costing")
+        rows = {}
+        costs = {}
+        self._eval_node(plan, assignment, rows, costs)
+        total = sum(costs[node.node_id] for node in plan.walk())
+        return PlanCosting(plan, rows, costs, total)
+
+    def subtree_cost(self, node, assignment=None):
+        """Cost of executing only the subtree rooted at ``node``.
+
+        This is the price of a *spill-mode* execution truncated at
+        ``node``: the node's output is discarded, so no downstream cost
+        is incurred (paper §3.1.2).
+        """
+        rows = {}
+        costs = {}
+        self._eval_node(node, assignment, rows, costs)
+        return sum(costs[member.node_id] for member in node.walk())
+
+    # ------------------------------------------------------------------
+    # recursive evaluation
+
+    def _eval_node(self, node, assignment, rows, costs):
+        params = self.params
+        if isinstance(node, SeqScan):
+            table = self.catalog.table(node.table)
+            base = float(table.row_count)
+            cost = (
+                table.pages * params.seq_page_cost
+                + base * params.cpu_tuple_cost
+                + base * len(node.filter_names) * params.cpu_operator_cost
+            )
+            out = base
+            for name in node.filter_names:
+                out = out * self.selectivity(name, assignment)
+            cost = cost + out * params.output_cost
+            rows[node.node_id] = out
+            costs[node.node_id] = cost
+            return out
+
+        if isinstance(node, IndexNLJoin):
+            outer_rows = self._eval_node(node.outer, assignment, rows,
+                                         costs)
+            inner_base = float(
+                self.catalog.table(node.inner_table).row_count)
+            fetched = (
+                outer_rows * inner_base
+                * self.selectivity(node.primary_predicate, assignment)
+            )
+            out = fetched
+            for name in node.inner_filters:
+                out = out * self.selectivity(name, assignment)
+            for name in node.predicate_names[1:]:
+                out = out * self.selectivity(name, assignment)
+            cost = self.index_join_operator_cost(
+                outer_rows, fetched, len(node.inner_filters), out)
+            rows[node.node_id] = out
+            costs[node.node_id] = cost
+            return out
+
+        if isinstance(node, JoinNode):
+            left_rows = self._eval_node(node.left, assignment, rows, costs)
+            right_rows = self._eval_node(node.right, assignment, rows, costs)
+            out = left_rows * right_rows
+            for name in node.predicate_names:
+                out = out * self.selectivity(name, assignment)
+            cost = self._join_cost(node, left_rows, right_rows, out)
+            rows[node.node_id] = out
+            costs[node.node_id] = cost
+            return out
+
+        raise PlanError("cannot cost unknown node %r" % type(node).__name__)
+
+    def _join_cost(self, node, left_rows, right_rows, out_rows):
+        return self.join_operator_cost(
+            type(node), left_rows, right_rows, out_rows
+        )
+
+    # ------------------------------------------------------------------
+    # operator-level hooks (used by the DP optimizer for incremental costing)
+
+    def join_operator_cost(self, kind, left_rows, right_rows, out_rows):
+        """Cost of one join operator given input/output cardinalities.
+
+        ``kind`` is the operator class (:class:`HashJoin`,
+        :class:`MergeJoin` or :class:`NestedLoopJoin`).
+        """
+        params = self.params
+        if kind is HashJoin:
+            return (
+                right_rows * params.hash_build_cost
+                + left_rows * params.hash_probe_cost
+                + out_rows * params.output_cost
+            )
+        if kind is MergeJoin:
+            return (
+                _sort_cost(left_rows, params)
+                + _sort_cost(right_rows, params)
+                + (left_rows + right_rows) * params.cpu_operator_cost
+                + out_rows * params.output_cost
+            )
+        if kind is NestedLoopJoin:
+            return (
+                right_rows * params.materialize_cost
+                + left_rows * right_rows * params.nl_compare_cost
+                + out_rows * params.output_cost
+            )
+        raise PlanError("unknown join kind %r" % kind)
+
+    def index_join_operator_cost(self, outer_rows, fetched_rows,
+                                 n_inner_filters, out_rows):
+        """Cost of an index nested-loop join given its cardinalities.
+
+        One index descent per outer tuple, per-fetched-tuple CPU (plus
+        inner filter evaluation), and output emission. The inner table
+        is never scanned, and the index is assumed pre-built (it exists
+        on disk, as primary-key indexes do).
+        """
+        params = self.params
+        return (
+            outer_rows * params.index_lookup_cost
+            + fetched_rows * (
+                params.cpu_tuple_cost
+                + n_inner_filters * params.cpu_operator_cost
+            )
+            + out_rows * params.output_cost
+        )
+
+    def scan_operator_cost(self, table_name, n_filters, out_rows):
+        """Cost of a filtered sequential scan given its output cardinality."""
+        table = self.catalog.table(table_name)
+        base = float(table.row_count)
+        params = self.params
+        return (
+            table.pages * params.seq_page_cost
+            + base * params.cpu_tuple_cost
+            + base * n_filters * params.cpu_operator_cost
+            + out_rows * params.output_cost
+        )
+
+
+def _sort_cost(n_rows, params):
+    """In-memory sort cost: ``sort_factor * cpu_op * n * log2(max(n, 2))``."""
+    safe = np.maximum(n_rows, 2.0)
+    return params.sort_factor * params.cpu_operator_cost * n_rows * np.log2(safe)

@@ -1,0 +1,76 @@
+"""Cost-model constants.
+
+Values are PostgreSQL-flavoured (the paper's engine): page fetches cost
+1.0 unit, per-tuple CPU work costs fractions of that. The exact values
+only shape *where* plan crossovers fall, not whether the robustness
+algorithms work -- but realistic ratios give realistic-looking contours.
+"""
+
+
+class CostParams:
+    """Tunable constants of the cost model.
+
+    All parameters are per-unit costs except ``sort_factor`` (multiplier
+    on the ``n log n`` comparison count) and ``memory_tuples`` (working
+    memory expressed in tuples, controlling when hash/sort operators
+    would spill -- retained for ablations, unused by the default model).
+    """
+
+    def __init__(
+        self,
+        seq_page_cost=1.0,
+        cpu_tuple_cost=0.01,
+        cpu_operator_cost=0.0025,
+        hash_build_cost=0.02,
+        hash_probe_cost=0.0075,
+        sort_factor=2.0,
+        materialize_cost=0.0025,
+        nl_compare_cost=0.0025,
+        output_cost=0.01,
+        index_lookup_cost=0.1,
+    ):
+        self.seq_page_cost = seq_page_cost
+        self.cpu_tuple_cost = cpu_tuple_cost
+        self.cpu_operator_cost = cpu_operator_cost
+        #: Per-build-tuple cost of hashing + hash-table insertion.
+        self.hash_build_cost = hash_build_cost
+        #: Per-probe-tuple cost of hashing + bucket lookup.
+        self.hash_probe_cost = hash_probe_cost
+        #: Multiplier on n*log2(n) comparisons for in-memory sorts.
+        self.sort_factor = sort_factor
+        #: Per-tuple cost of materialising an intermediate result.
+        self.materialize_cost = materialize_cost
+        #: Per-pair comparison cost inside a block nested-loop join.
+        self.nl_compare_cost = nl_compare_cost
+        #: Per-tuple cost of emitting a join/scan output row.
+        self.output_cost = output_cost
+        #: Per-probe cost of an index lookup (b-tree descent, mostly
+        #: cached); sets the outer-cardinality crossover against hash
+        #: joins.
+        self.index_lookup_cost = index_lookup_cost
+
+    def copy(self, **overrides):
+        """Return a copy with selected parameters replaced."""
+        params = CostParams(
+            seq_page_cost=self.seq_page_cost,
+            cpu_tuple_cost=self.cpu_tuple_cost,
+            cpu_operator_cost=self.cpu_operator_cost,
+            hash_build_cost=self.hash_build_cost,
+            hash_probe_cost=self.hash_probe_cost,
+            sort_factor=self.sort_factor,
+            materialize_cost=self.materialize_cost,
+            nl_compare_cost=self.nl_compare_cost,
+            output_cost=self.output_cost,
+            index_lookup_cost=self.index_lookup_cost,
+        )
+        for key, value in overrides.items():
+            if not hasattr(params, key):
+                raise AttributeError("unknown cost parameter %r" % key)
+            setattr(params, key, value)
+        return params
+
+    def __repr__(self):
+        return "CostParams(seq_page=%g, cpu_tuple=%g)" % (
+            self.seq_page_cost,
+            self.cpu_tuple_cost,
+        )

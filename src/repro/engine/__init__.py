@@ -1,0 +1,5 @@
+"""Execution environments for discovery algorithms."""
+
+from repro.engine.simulated import SimulatedEngine, SpillOutcome, RegularOutcome
+
+__all__ = ["SimulatedEngine", "SpillOutcome", "RegularOutcome"]

@@ -1,0 +1,13 @@
+"""Error-prone Selectivity Space machinery: grid, POSP, contours, reduction."""
+
+from repro.ess.grid import SelectivityGrid
+from repro.ess.space import ExplorationSpace
+from repro.ess.contours import ContourSet
+from repro.ess.anorexic import anorexic_reduction
+
+__all__ = [
+    "SelectivityGrid",
+    "ExplorationSpace",
+    "ContourSet",
+    "anorexic_reduction",
+]

@@ -1,0 +1,115 @@
+"""Discretised selectivity grid over the ESS hypercube (paper §2.1).
+
+Each epp's selectivity ranges over ``[s_min, 1]``; the grid samples it
+geometrically (log-spaced), matching the log-scale axes of the paper's
+figures and the reality that interesting plan switches happen across
+orders of magnitude, not linear increments.
+"""
+
+import numpy as np
+
+from repro.common.errors import QueryError
+
+
+class SelectivityGrid:
+    """A ``D``-dimensional log-spaced grid over the ESS.
+
+    Parameters
+    ----------
+    dims:
+        Number of epps ``D``.
+    resolution:
+        Points per dimension; an int (uniform) or a length-``D`` sequence.
+    s_min, s_max:
+        Selectivity range per dimension; scalars or length-``D`` sequences.
+    """
+
+    def __init__(self, dims, resolution, s_min=1e-6, s_max=1.0):
+        if dims < 1:
+            raise QueryError("grid needs at least one dimension")
+        self.dims = dims
+        res = self._per_dim(resolution, int)
+        lo = self._per_dim(s_min, float)
+        hi = self._per_dim(s_max, float)
+        for d in range(dims):
+            if res[d] < 2:
+                raise QueryError("resolution must be >= 2 per dimension")
+            if not 0 < lo[d] < hi[d] <= 1.0:
+                raise QueryError(
+                    "selectivity range must satisfy 0 < s_min < s_max <= 1"
+                )
+        #: Per-dimension ascending selectivity values.
+        self.values = [np.geomspace(lo[d], hi[d], res[d]) for d in range(dims)]
+        # Pin the endpoints exactly (geomspace can round the last element).
+        for d in range(dims):
+            self.values[d][0] = lo[d]
+            self.values[d][-1] = hi[d]
+        self.shape = tuple(res)
+        self.size = int(np.prod(self.shape))
+
+    def _per_dim(self, value, cast):
+        if np.isscalar(value):
+            return [cast(value)] * self.dims
+        seq = list(value)
+        if len(seq) != self.dims:
+            raise QueryError(
+                "expected %d per-dimension values, got %d" % (self.dims, len(seq))
+            )
+        return [cast(v) for v in seq]
+
+    # ------------------------------------------------------------------
+    # coordinate conversions
+
+    @property
+    def origin(self):
+        """Index tuple of the all-minimum corner."""
+        return (0,) * self.dims
+
+    @property
+    def terminus(self):
+        """Index tuple of the all-maximum corner (paper's 'terminus')."""
+        return tuple(r - 1 for r in self.shape)
+
+    def location(self, index):
+        """Selectivity vector at a grid index tuple."""
+        return np.array(
+            [self.values[d][index[d]] for d in range(self.dims)]
+        )
+
+    def flat(self, index):
+        """Flatten an index tuple to a scalar offset (C order)."""
+        return int(np.ravel_multi_index(index, self.shape))
+
+    def unflat(self, offset):
+        """Inverse of :meth:`flat`."""
+        return tuple(int(i) for i in np.unravel_index(offset, self.shape))
+
+    def indices(self):
+        """Iterate over every index tuple in C order."""
+        return np.ndindex(*self.shape)
+
+    def meshes(self):
+        """Per-dimension selectivity arrays of shape ``self.shape``.
+
+        ``meshes()[d][idx] == values[d][idx[d]]``; used for vectorised
+        plan costing over the whole grid.
+        """
+        grids = np.meshgrid(*self.values, indexing="ij")
+        return grids
+
+    def snap_down(self, dim, selectivity):
+        """Largest grid index along ``dim`` whose value <= ``selectivity``.
+
+        Used to floor partially-learnt selectivity bounds onto the grid
+        (conservative: never overstate what was learnt).
+        """
+        idx = int(np.searchsorted(self.values[dim], selectivity, side="right")) - 1
+        return max(0, idx)
+
+    def snap_up(self, dim, selectivity):
+        """Smallest grid index along ``dim`` whose value >= ``selectivity``."""
+        idx = int(np.searchsorted(self.values[dim], selectivity, side="left"))
+        return min(self.shape[dim] - 1, idx)
+
+    def __repr__(self):
+        return "SelectivityGrid(D=%d, shape=%s)" % (self.dims, self.shape)

@@ -1,0 +1,85 @@
+"""Parallel exact space construction (paper §7, third point).
+
+"When a multiplicity of hardware is available, the contour constructions
+can be carried out in parallel since they do not have any dependence on
+each other." The same holds for the per-location optimizer calls that
+produce the POSP: this module fans the exact DP build out over a process
+pool, shipping plans back as their serialised form (processes cannot
+share plan objects).
+
+Worker processes each hold their own :class:`Optimizer`; the parent
+merges results, deduplicating plans by signature exactly as the serial
+build does, so ``parallel_exact_build`` is bit-identical to
+``space.build(mode="exact")``.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+from repro.common.errors import DiscoveryError
+from repro.ess.persistence import plan_from_dict, plan_to_dict
+from repro.plans.nodes import finalize_plan
+
+# Per-process optimizer state, initialised once per worker.
+_WORKER = {}
+
+
+def _init_worker(query):
+    from repro.optimizer.dp import Optimizer
+
+    _WORKER["query"] = query
+    _WORKER["optimizer"] = Optimizer(query)
+    _WORKER["values"] = None
+
+
+def _optimize_chunk(chunk):
+    """Optimize a list of (flat, assignment) pairs in one worker call."""
+    optimizer = _WORKER["optimizer"]
+    results = []
+    for flat, assignment in chunk:
+        plan = optimizer.optimize(assignment)
+        results.append((flat, plan_to_dict(plan.plan)))
+    return results
+
+
+def parallel_exact_build(space, workers=None, chunk_size=256):
+    """Exact build of ``space`` using a process pool; returns ``space``.
+
+    Falls back to the serial exact build when only one worker is
+    available. The query (and its catalog) must be picklable, which all
+    library-constructed queries are.
+    """
+    if space.built:
+        raise DiscoveryError("space is already built")
+    if workers is None:
+        workers = max(1, (os.cpu_count() or 2) - 1)
+    if workers <= 1:
+        return space.build(mode="exact")
+
+    grid = space.grid
+    jobs = []
+    for flat in range(grid.size):
+        index = grid.unflat(flat)
+        jobs.append((flat, space.assignment_at(index)))
+    chunks = [
+        jobs[start:start + chunk_size]
+        for start in range(0, len(jobs), chunk_size)
+    ]
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(space.query,),
+    ) as pool:
+        for results in pool.map(_optimize_chunk, chunks):
+            for _flat, plan_dict in results:
+                tree = finalize_plan(plan_from_dict(plan_dict))
+                space.register_plan(tree)
+
+    # The serial exact build resolves the final diagram with an argmin
+    # over the registered cost surfaces (ties break by registration
+    # order); doing the same here makes the two builds bit-identical.
+    space._refresh_surface()
+    space.built = True
+    return space

@@ -1,0 +1,282 @@
+"""The exploration space: POSP plans and the optimal cost surface.
+
+:class:`ExplorationSpace` materialises, over a :class:`SelectivityGrid`,
+the search space the paper's algorithms consume: for every grid location
+``q``, the optimal plan ``P_q`` and its cost ``Cost(P_q, q)`` (the
+Optimal Cost Surface of Fig. 3).
+
+Two build modes:
+
+* ``exact`` -- one DP optimizer call per grid point. Ground truth, used
+  by tests and small grids.
+* ``fast`` -- optimize at seed locations (corners + random sample), then
+  cost every discovered plan over the whole grid with vectorised numpy
+  evaluation and take the argmin; iteratively validated against exact DP
+  at random probes until no better plan is found. This is the standard
+  plan-diagram approximation and is orders of magnitude faster at high D.
+
+Because the argmin is taken over *true optimizer plans*, the resulting
+surface still satisfies Plan Cost Monotonicity, and every cost it reports
+is achievable by a real plan; the only approximation risk is missing a
+plan whose optimality region evaded both seeding and validation probes.
+"""
+
+import numpy as np
+
+from repro.common.errors import OptimizerError
+from repro.common.rng import make_rng
+from repro.cost.model import CostModel
+from repro.ess.grid import SelectivityGrid
+from repro.optimizer.dp import Optimizer
+from repro.plans.pipelines import epp_total_order
+from repro.plans.nodes import JOIN_LIKE
+
+
+class PlanInfo:
+    """A POSP plan plus everything precomputed about it.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id within the owning space.
+    tree:
+        Finalised plan tree.
+    cost:
+        ndarray of plan cost at every grid location (grid-shaped).
+    spill_order:
+        List of ``(epp_name, node, subtree_epp_names)`` in the plan's
+        spill total order (paper §3.1.3).
+    """
+
+    __slots__ = ("id", "tree", "cost", "spill_order")
+
+    def __init__(self, plan_id, tree, cost, spill_order):
+        self.id = plan_id
+        self.tree = tree
+        self.cost = cost
+        self.spill_order = spill_order
+
+    def spill_target(self, remaining):
+        """First unresolved epp this plan can spill on, or ``None``.
+
+        ``remaining`` is the set of not-yet-learnt epp names. The chosen
+        node's subtree must contain no other unresolved epp.
+        """
+        remaining = set(remaining)
+        for name, node, subtree_epps in self.spill_order:
+            if name in remaining and (subtree_epps & remaining) <= {name}:
+                return name, node
+        return None
+
+    def label(self):
+        return "P%d" % (self.id + 1)
+
+    def __repr__(self):
+        return "PlanInfo(%s)" % self.label()
+
+
+class ExplorationSpace:
+    """POSP + optimal cost surface over a selectivity grid."""
+
+    def __init__(
+        self,
+        query,
+        resolution=None,
+        s_min=1e-6,
+        grid=None,
+        cost_model=None,
+        bushy=False,
+    ):
+        if query.dimensions < 1:
+            raise OptimizerError(
+                "query %r declares no error-prone predicates" % query.name
+            )
+        self.query = query
+        self.cost_model = cost_model or CostModel(query)
+        self.optimizer = Optimizer(query, self.cost_model, bushy=bushy)
+        if grid is None:
+            if resolution is None:
+                resolution = default_resolution(query.dimensions)
+            grid = SelectivityGrid(query.dimensions, resolution, s_min=s_min)
+        self.grid = grid
+        self.plans = []
+        self._signatures = {}
+        self._flat_meshes = None
+        self.plan_at = None
+        self.opt_cost = None
+        self.built = False
+
+    # ------------------------------------------------------------------
+    # assignments
+
+    def assignment_at(self, index):
+        """``{epp_name: selectivity}`` for a grid index tuple."""
+        return {
+            name: float(self.grid.values[d][index[d]])
+            for d, name in enumerate(self.query.epps)
+        }
+
+    def _grid_assignment(self):
+        """Vectorised assignment covering every grid point (flattened)."""
+        if self._flat_meshes is None:
+            meshes = self.grid.meshes()
+            self._flat_meshes = {
+                name: meshes[d].ravel()
+                for d, name in enumerate(self.query.epps)
+            }
+        return self._flat_meshes
+
+    # ------------------------------------------------------------------
+    # plan registry
+
+    def register_plan(self, tree):
+        """Add a finalised plan to the registry (deduplicated); return info."""
+        return self.register_plan_with_cost(tree, None)
+
+    def register_plan_with_cost(self, tree, cost):
+        """Register a plan with a precomputed cost surface.
+
+        ``cost=None`` computes the surface via vectorised costing; a
+        provided array (e.g. from a persisted archive) is trusted
+        verbatim, skipping the cost model entirely.
+        """
+        signature = tree.signature()
+        if signature in self._signatures:
+            return self._signatures[signature]
+        if cost is None:
+            cost = np.asarray(
+                self.cost_model.cost(tree, self._grid_assignment())
+            ).reshape(self.grid.shape)
+        else:
+            cost = np.asarray(cost, dtype=float).reshape(self.grid.shape)
+        spill_order = []
+        for name, node in epp_total_order(tree, self.query.epps):
+            subtree_epps = set()
+            for member in node.walk():
+                if isinstance(member, JOIN_LIKE):
+                    subtree_epps.update(member.predicate_names)
+            subtree_epps &= set(self.query.epps)
+            spill_order.append((name, node, frozenset(subtree_epps)))
+        info = PlanInfo(len(self.plans), tree, cost, spill_order)
+        self.plans.append(info)
+        self._signatures[signature] = info
+        return info
+
+    def optimize_at(self, index, spilling_on=None):
+        """Exact DP call at a grid index; returns an :class:`OptimizedPlan`."""
+        assignment = self.assignment_at(index)
+        if spilling_on is None:
+            return self.optimizer.optimize(assignment)
+        return self.optimizer.optimize_spilling_on(spilling_on, assignment)
+
+    # ------------------------------------------------------------------
+    # build
+
+    def build(self, mode="fast", sample=None, validate=96, rng=0,
+              max_rounds=12):
+        """Materialise ``plan_at`` and ``opt_cost``; returns ``self``."""
+        if mode == "exact":
+            self._build_exact()
+        elif mode == "fast":
+            self._build_fast(sample, validate, make_rng(rng), max_rounds)
+        else:
+            raise OptimizerError("unknown build mode %r" % mode)
+        self.built = True
+        return self
+
+    def _build_exact(self):
+        plan_at = np.empty(self.grid.shape, dtype=np.int32)
+        for index in self.grid.indices():
+            result = self.optimize_at(index)
+            info = self.register_plan(result.plan)
+            plan_at[index] = info.id
+        self.plan_at = plan_at
+        self._refresh_surface()
+
+    def _build_fast(self, sample, validate, rng, max_rounds):
+        grid = self.grid
+        if sample is None:
+            sample = min(max(64, grid.size // 16), 768)
+        seeds = self._seed_indices(sample, rng)
+        for index in seeds:
+            self.register_plan(self.optimize_at(index).plan)
+        self._refresh_surface()
+        # Iterative validation: probe random locations with exact DP and
+        # absorb any strictly better plan we had missed.
+        for _round in range(max_rounds):
+            probes = self._seed_indices(validate, rng, corners=False)
+            grew = False
+            for index in probes:
+                result = self.optimize_at(index)
+                if result.cost < self.opt_cost[index] * (1 - 1e-9):
+                    self.register_plan(result.plan)
+                    grew = True
+            if grew:
+                self._refresh_surface()
+            else:
+                break
+
+    def _seed_indices(self, count, rng, corners=True):
+        grid = self.grid
+        seeds = []
+        if corners:
+            # Every corner of the hypercube (caps at 2^D = 64 for D = 6),
+            # plus the centre.
+            for mask in range(2 ** grid.dims):
+                seeds.append(tuple(
+                    grid.shape[d] - 1 if (mask >> d) & 1 else 0
+                    for d in range(grid.dims)
+                ))
+            seeds.append(tuple(r // 2 for r in grid.shape))
+        picks = rng.integers(0, grid.size, size=count)
+        seeds.extend(grid.unflat(int(p)) for p in picks)
+        return seeds
+
+    def _refresh_surface(self):
+        stack = np.stack([info.cost for info in self.plans])
+        self.plan_at = np.argmin(stack, axis=0).astype(np.int32)
+        self.opt_cost = np.min(stack, axis=0)
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def plan_cost(self, plan_id, index):
+        """Cost of plan ``plan_id`` at grid index tuple ``index``."""
+        return float(self.plans[plan_id].cost[index])
+
+    def optimal_cost(self, index):
+        """Optimal (oracle) cost at a grid index tuple."""
+        return float(self.opt_cost[index])
+
+    def optimal_plan(self, index):
+        """POSP plan at a grid index tuple."""
+        return self.plans[int(self.plan_at[index])]
+
+    @property
+    def c_min(self):
+        """Minimum cost on the surface (at the origin, by PCM)."""
+        return float(self.opt_cost[self.grid.origin])
+
+    @property
+    def c_max(self):
+        """Maximum cost on the surface (at the terminus, by PCM)."""
+        return float(self.opt_cost[self.grid.terminus])
+
+    def posp_size(self):
+        """Number of distinct plans actually optimal somewhere."""
+        return int(np.unique(self.plan_at).size)
+
+    def __repr__(self):
+        status = "built" if self.built else "unbuilt"
+        return "ExplorationSpace(%s, %s, plans=%d, %s)" % (
+            self.query.name,
+            self.grid,
+            len(self.plans),
+            status,
+        )
+
+
+def default_resolution(dims):
+    """Grid resolution keeping exhaustive sweeps laptop-scale per D."""
+    table = {1: 256, 2: 48, 3: 20, 4: 12, 5: 8, 6: 6}
+    return table.get(dims, 5)

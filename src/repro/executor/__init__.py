@@ -1,0 +1,6 @@
+"""Row-level iterator executor with budgets, spilling and monitoring."""
+
+from repro.executor.runtime import CostMeter, RowEngine, RowRunResult
+from repro.executor.rowengine import RowBackedEngine
+
+__all__ = ["CostMeter", "RowEngine", "RowRunResult", "RowBackedEngine"]

@@ -1,0 +1,17 @@
+"""Benchmark harness: paper workloads, experiment drivers, reporting."""
+
+from repro.harness.workloads import (
+    build_space,
+    job_q1a,
+    paper_suite,
+    q91_dimensional_ramp,
+    workload,
+)
+
+__all__ = [
+    "workload",
+    "paper_suite",
+    "q91_dimensional_ramp",
+    "job_q1a",
+    "build_space",
+]

@@ -1,0 +1,107 @@
+"""Error-prone predicate identification (paper §7, second point).
+
+The paper assumes the epp set is given, suggesting domain knowledge,
+query logs, or conservatively declaring "all uncertain predicates" as
+epps. This module provides the automated assistant the paper leaves to
+future work: it ranks a query's predicates by how much damage a wrong
+selectivity estimate for them could do, measured as the *optimal-cost
+spread* -- the ratio between the optimal plan cost when the predicate's
+selectivity sits at the top versus the bottom of its range, holding all
+other predicates at their estimates.
+
+A predicate with a small spread cannot hurt much even if badly
+estimated (declaring it error-free shrinks ``D`` and thus the
+``D^2 + 3D`` guarantee); a predicate with a large spread is exactly the
+kind whose mis-estimation produces the million-fold MSOs of the paper's
+introduction.
+"""
+
+import numpy as np
+
+from repro.cost.model import CostModel
+from repro.optimizer.dp import Optimizer
+from repro.query.predicates import JoinPredicate
+
+
+class EppRanking:
+    """Ranked predicates with their cost-spread scores."""
+
+    __slots__ = ("scores",)
+
+    def __init__(self, scores):
+        #: List of ``(predicate_name, spread)``, most dangerous first.
+        self.scores = scores
+
+    def top(self, k):
+        """The ``k`` most error-prone predicate names."""
+        return [name for name, _spread in self.scores[:k]]
+
+    def select(self, min_spread=4.0):
+        """All predicates whose spread exceeds ``min_spread``."""
+        return [name for name, spread in self.scores
+                if spread >= min_spread]
+
+    def __repr__(self):
+        return "EppRanking(%s)" % ", ".join(
+            "%s:%.1fx" % (n, s) for n, s in self.scores
+        )
+
+
+def rank_epps(query, cost_model=None, candidates=None, s_min=1e-6,
+              probes=5):
+    """Rank candidate predicates by optimal-cost spread.
+
+    Parameters
+    ----------
+    query:
+        The query whose predicates are assessed (its declared epps are
+        ignored; this function is what would *produce* a declaration).
+    candidates:
+        Predicate names to assess; defaults to every join predicate
+        (the error-prone kind in the paper's workloads).
+    s_min:
+        Bottom of the selectivity range explored.
+    probes:
+        Optimizer calls per predicate (log-spaced selectivities).
+
+    Returns an :class:`EppRanking`, most dangerous predicate first.
+    """
+    cost_model = cost_model or CostModel(query)
+    optimizer = Optimizer(query, cost_model)
+    if candidates is None:
+        candidates = [
+            name for name, pred in query.predicates.items()
+            if isinstance(pred, JoinPredicate)
+        ]
+    scores = []
+    for name in candidates:
+        sels = np.geomspace(s_min, 1.0, probes)
+        costs = [
+            optimizer.optimize({name: float(s)}).cost for s in sels
+        ]
+        spread = max(costs) / min(costs)
+        scores.append((name, float(spread)))
+    scores.sort(key=lambda item: (-item[1], item[0]))
+    return EppRanking(scores)
+
+
+def declare_epps(query, k=None, min_spread=4.0, **kwargs):
+    """Clone ``query`` with an automatically selected epp set.
+
+    Either the top-``k`` predicates or all predicates whose spread
+    exceeds ``min_spread`` (the conservative option of §7).
+    """
+    ranking = rank_epps(query, **kwargs)
+    if k is not None:
+        chosen = ranking.top(k)
+    else:
+        chosen = ranking.select(min_spread)
+    if not chosen:
+        chosen = ranking.top(1)  # at least one epp keeps the ESS alive
+    full_order = ranking.top(len(ranking.scores))
+    ordered = tuple(sorted(chosen, key=full_order.index))
+    base = query.name
+    if "D_" in base and base.split("D_", 1)[0].isdigit():
+        base = base.split("D_", 1)[1]  # strip a previous "xD_" prefix
+    return query.with_epps(ordered, name="%dD_%s_auto"
+                           % (len(ordered), base))

@@ -1,0 +1,83 @@
+"""Random workload generation: synthetic catalogs and SPJ queries.
+
+Used for property-based guarantee testing (random instances must still
+satisfy every bound) and for scaling studies beyond the fixed TPC-DS
+suite. Generated queries follow the paper's join-graph geometries:
+
+* ``star`` -- a fact table joined to independent dimensions;
+* ``chain`` -- a linear join path through the relations;
+* ``branch`` -- a star whose dimensions grow their own sub-chains.
+"""
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.common.errors import QueryError
+from repro.common.rng import make_rng
+from repro.query.predicates import JoinPredicate
+from repro.query.query import Query
+
+SHAPES = ("star", "chain", "branch")
+
+
+def random_catalog(rng, n_dimensions, fact_rows=(10_000, 10_000_000),
+                   dim_rows=(100, 200_000), indexed_fraction=0.5):
+    """A synthetic fact + dimensions catalog with random statistics."""
+    rng = make_rng(rng)
+    fact_columns = [Column("pk", int(rng.integers(*fact_rows)))]
+    n_fact = int(rng.integers(*fact_rows))
+    fact_columns[0] = Column("pk", n_fact)
+    dims = []
+    for k in range(n_dimensions):
+        rows = int(rng.integers(*dim_rows))
+        ndv = int(rng.integers(50, max(51, rows)))
+        indexed = bool(rng.random() < indexed_fraction)
+        dims.append(Table("dim%d" % k, rows, [
+            Column("id", ndv, indexed=indexed),
+            Column("link", int(rng.integers(50, 100_000))),
+            Column("attr", int(rng.integers(5, 500)), lo=0, hi=500),
+        ]))
+        fact_columns.append(
+            Column("fk%d" % k, int(rng.integers(50, 100_000))))
+    fact_columns.append(Column("val", 1_000, lo=0, hi=1_000))
+    tables = [Table("fact", n_fact, fact_columns)] + dims
+    return Catalog("synthetic", tables)
+
+
+def random_query(rng, dims=3, shape="chain", name=None,
+                 epps="all", catalog=None):
+    """Generate a random SPJ query with ``dims`` joins of ``shape``.
+
+    ``epps="all"`` declares every join error-prone (so the query's ESS
+    dimensionality equals ``dims``); an iterable selects a subset.
+    """
+    if shape not in SHAPES:
+        raise QueryError("unknown join-graph shape %r" % shape)
+    rng = make_rng(rng)
+    catalog = catalog or random_catalog(rng, dims)
+    joins = []
+    if shape == "star":
+        for k in range(dims):
+            joins.append(JoinPredicate(
+                "j%d" % k, "fact.fk%d" % k, "dim%d.id" % k))
+    elif shape == "chain":
+        joins.append(JoinPredicate("j0", "fact.fk0", "dim0.id"))
+        for k in range(1, dims):
+            joins.append(JoinPredicate(
+                "j%d" % k, "dim%d.link" % (k - 1), "dim%d.id" % k))
+    else:  # branch: half star, half chained off the first dimension
+        split = max(1, dims // 2)
+        for k in range(split):
+            joins.append(JoinPredicate(
+                "j%d" % k, "fact.fk%d" % k, "dim%d.id" % k))
+        for k in range(split, dims):
+            joins.append(JoinPredicate(
+                "j%d" % k, "dim%d.link" % (k - 1), "dim%d.id" % k))
+    epp_names = tuple(j.name for j in joins) if epps == "all" \
+        else tuple(epps)
+    return Query(
+        name or ("rand_%s_%dd" % (shape, dims)),
+        catalog,
+        ["fact"] + ["dim%d" % k for k in range(dims)],
+        joins,
+        [],
+        epp_names,
+    )

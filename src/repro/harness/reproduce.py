@@ -1,0 +1,90 @@
+"""One-shot reproduction driver: every paper artifact in one report.
+
+``full_reproduction()`` runs each experiment driver and assembles a
+single markdown document -- the programmatic sibling of the benchmark
+suite, intended for quick "does the whole story still hold?" checks
+(``quick=True``, minutes) or full regenerations (``quick=False``).
+Exposed as ``python -m repro reproduce``.
+"""
+
+from repro.harness import experiments as exp
+from repro.harness.workloads import PAPER_SUITE
+
+#: (section title, driver factory) for every artifact, in paper order.
+_SECTIONS = (
+    ("Fig. 8 - MSO guarantees",
+     lambda cfg: exp.fig8_mso_guarantees(
+         names=cfg["names"], resolution=cfg["resolution"])),
+    ("Fig. 9 - guarantee vs dimensionality",
+     lambda cfg: exp.fig9_dimensionality(resolution=cfg["resolution"])),
+    ("Figs. 10-11 - empirical MSO / ASO",
+     lambda cfg: exp.fig10_11_empirical(
+         names=cfg["names"], resolution=cfg["resolution"],
+         sweep_sample=cfg["sample"])),
+    ("Fig. 12 - sub-optimality distribution",
+     lambda cfg: exp.fig12_distribution(
+         resolution=cfg["resolution"], sweep_sample=cfg["sample"])),
+    ("Fig. 13 - SB vs AB",
+     lambda cfg: exp.fig13_ab_mso(
+         names=cfg["names"], resolution=cfg["resolution"],
+         sweep_sample=cfg["sample"])),
+    ("Table 2 - contour alignment",
+     lambda cfg: exp.table2_alignment(
+         names=tuple(n for n in cfg["names"]
+                     if n in ("3D_Q96", "4D_Q7", "4D_Q26", "4D_Q91",
+                              "5D_Q29", "5D_Q84")) or ("4D_Q91",),
+         resolution=cfg["resolution"])),
+    ("Table 3 - execution drill-down",
+     lambda cfg: exp.table3_trace(resolution=cfg["resolution"])),
+    ("Table 4 - AB partition penalty",
+     lambda cfg: exp.table4_ab_penalty(
+         names=cfg["names"], resolution=cfg["resolution"],
+         sweep_sample=cfg["sample"] or 400)),
+    ("Wall-clock (row executor)",
+     lambda cfg: exp.wallclock_experiment()),
+    ("JOB benchmark",
+     lambda cfg: exp.job_experiment(
+         resolution=cfg["resolution"], sweep_sample=cfg["sample"])),
+    ("Ablation - contour cost ratio",
+     lambda cfg: exp.ablation_cost_ratio(
+         resolution=cfg["resolution"], sweep_sample=cfg["sample"])),
+    ("Ablation - cost-model error",
+     lambda cfg: exp.ablation_cost_error(
+         resolution=cfg["resolution"], sweep_sample=cfg["sample"])),
+    ("Ablation - anorexic threshold",
+     lambda cfg: exp.ablation_anorexic(
+         resolution=cfg["resolution"], sweep_sample=cfg["sample"])),
+)
+
+
+def full_reproduction(quick=True, names=None, progress=None):
+    """Run every artifact driver; returns the assembled markdown text.
+
+    ``quick`` shrinks grids and samples sweeps so the whole pass takes
+    minutes; pass ``quick=False`` for benchmark-suite fidelity (use the
+    pytest benchmarks when timings matter).
+    """
+    cfg = {
+        "names": tuple(names) if names else (
+            ("2D_Q91", "3D_Q15", "4D_Q91") if quick else PAPER_SUITE),
+        "resolution": 8 if quick else None,
+        "sample": 200 if quick else None,
+    }
+    parts = [
+        "# Full reproduction report",
+        "",
+        "Mode: %s | workloads: %s" % (
+            "quick" if quick else "full", ", ".join(cfg["names"])),
+        "",
+    ]
+    for title, driver in _SECTIONS:
+        if progress:
+            progress(title)
+        report = driver(cfg)
+        parts.append("## %s" % title)
+        parts.append("")
+        parts.append("```")
+        parts.append(report.render())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,118 @@
+"""Bonus workloads: TPC-H SPJ cores from the PlanBouquet lineage.
+
+The PlanBouquet paper ([1]) evaluated on TPC-H; these skeletons
+reproduce its style of SPJ cores (including the paper's own
+introductory example EQ -- "orders for cheap parts", Fig. 1) so the
+algorithms can be exercised on a second industry benchmark beyond
+TPC-DS and JOB.
+"""
+
+from repro.catalog.tpch import tpch_catalog
+from repro.query.query import Query, make_filter, make_join
+
+_TPCH = tpch_catalog()
+
+
+def example_query_eq(epps=None):
+    """The paper's Fig. 1 example: orders for cheap parts.
+
+    ``part JOIN lineitem JOIN orders`` with the part-price filter; the
+    two join predicates are the bold-faced epps of the introduction.
+    """
+    joins = [
+        make_join("p_l", "part.p_partkey", "lineitem.l_partkey"),
+        make_join("o_l", "orders.o_orderkey", "lineitem.l_orderkey"),
+    ]
+    filters = [
+        make_filter("f_price", "part.p_retailprice", "<", 1_000),
+    ]
+    epps = epps or ("p_l", "o_l")
+    return Query(
+        "%dD_EQ" % len(epps), _TPCH,
+        ["part", "lineitem", "orders"],
+        joins, filters, epps,
+    )
+
+
+def tpch_q3(epps=None):
+    """TPC-H Q3 core: customer -> orders -> lineitem chain."""
+    joins = [
+        make_join("c_o", "customer.c_custkey", "orders.o_custkey"),
+        make_join("o_l", "orders.o_orderkey", "lineitem.l_orderkey"),
+    ]
+    filters = [
+        make_filter("f_date", "orders.o_orderdate", "<", 1_200),
+        make_filter("f_ship", "lineitem.l_shipdate", ">", 1_200),
+    ]
+    epps = epps or ("c_o", "o_l")
+    return Query(
+        "%dD_H3" % len(epps), _TPCH,
+        ["customer", "orders", "lineitem"],
+        joins, filters, epps,
+    )
+
+
+def tpch_q5(epps=None):
+    """TPC-H Q5 core: the regional-volume 5-way join."""
+    joins = [
+        make_join("c_o", "customer.c_custkey", "orders.o_custkey"),
+        make_join("o_l", "orders.o_orderkey", "lineitem.l_orderkey"),
+        make_join("l_s", "lineitem.l_suppkey", "supplier.s_suppkey"),
+        make_join("s_n", "supplier.s_nationkey", "nation.n_nationkey"),
+        make_join("n_r", "nation.n_regionkey", "region.r_regionkey"),
+    ]
+    filters = [
+        make_filter("f_date", "orders.o_orderdate", "<", 800),
+    ]
+    epps = epps or ("c_o", "o_l", "l_s", "s_n")
+    return Query(
+        "%dD_H5" % len(epps), _TPCH,
+        ["customer", "orders", "lineitem", "supplier", "nation",
+         "region"],
+        joins, filters, epps,
+    )
+
+
+def tpch_q10(epps=None):
+    """TPC-H Q10 core: returned-item reporting (customer/nation star)."""
+    joins = [
+        make_join("c_o", "customer.c_custkey", "orders.o_custkey"),
+        make_join("o_l", "orders.o_orderkey", "lineitem.l_orderkey"),
+        make_join("c_n", "customer.c_nationkey", "nation.n_nationkey"),
+    ]
+    filters = [
+        make_filter("f_date", "orders.o_orderdate", ">=", 1_500),
+        make_filter("f_bal", "customer.c_acctbal", ">", 0),
+    ]
+    epps = epps or ("c_o", "o_l", "c_n")
+    return Query(
+        "%dD_H10" % len(epps), _TPCH,
+        ["customer", "orders", "lineitem", "nation"],
+        joins, filters, epps,
+    )
+
+
+#: The bonus suite, in increasing dimensionality.
+TPCH_SUITE = ("2D_EQ", "2D_H3", "3D_H10", "4D_H5")
+
+_BUILDERS = {
+    "2D_EQ": example_query_eq,
+    "2D_H3": tpch_q3,
+    "3D_H10": tpch_q10,
+    "4D_H5": tpch_q5,
+}
+
+
+def tpch_workload(name):
+    """Build the TPC-H bonus workload registered under ``name``."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            "unknown TPC-H workload %r (known: %s)"
+            % (name, sorted(_BUILDERS))) from None
+
+
+def tpch_suite():
+    """All bonus TPC-H workloads."""
+    return [tpch_workload(name) for name in TPCH_SUITE]

@@ -1,0 +1,380 @@
+"""The paper's benchmark workload: TPC-DS SPJ skeletons and JOB Q1a.
+
+Each builder reproduces the join graph of the corresponding TPC-DS query
+(the paper evaluates SPJ cores with 2-6 error-prone join predicates;
+§6.1) and declares the epp subset giving the advertised dimensionality.
+Geometries span star (Q7/Q26/Q27 around a fact table), chain (Q15), and
+branch (Q18/Q91) shapes, matching the paper's description.
+
+``workload(name)`` resolves the ``xD_Qz`` names used throughout the
+evaluation section.
+"""
+
+from repro.catalog.job import job_catalog
+from repro.catalog.tpcds import tpcds_catalog
+from repro.ess.space import ExplorationSpace
+from repro.query.query import Query, make_filter, make_join
+
+# Shared catalogs (statistics only -- cheap to keep alive).
+_TPCDS = tpcds_catalog()
+_JOB = job_catalog()
+
+
+def q7(epps=None):
+    """TPC-DS Q7: star join around store_sales (4 joins)."""
+    joins = [
+        make_join("ss_cd", "store_sales.ss_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("ss_d", "store_sales.ss_sold_date_sk", "date_dim.d_date_sk"),
+        make_join("ss_i", "store_sales.ss_item_sk", "item.i_item_sk"),
+        make_join("ss_p", "store_sales.ss_promo_sk", "promotion.p_promo_sk"),
+    ]
+    filters = [
+        make_filter("f_gender", "customer_demographics.cd_gender", "=", 1),
+        make_filter("f_year", "date_dim.d_year", "=", 2000),
+        make_filter("f_email", "promotion.p_channel_email", "=", 0),
+    ]
+    epps = epps or ("ss_cd", "ss_d", "ss_i", "ss_p")
+    return Query(
+        "%dD_Q7" % len(epps), _TPCDS,
+        ["store_sales", "customer_demographics", "date_dim", "item",
+         "promotion"],
+        joins, filters, epps,
+    )
+
+
+def q15(epps=None):
+    """TPC-DS Q15: catalog_sales -> customer -> customer_address chain."""
+    joins = [
+        make_join("cs_c", "catalog_sales.cs_bill_customer_sk",
+                  "customer.c_customer_sk"),
+        make_join("c_ca", "customer.c_current_addr_sk",
+                  "customer_address.ca_address_sk"),
+        make_join("cs_d", "catalog_sales.cs_sold_date_sk",
+                  "date_dim.d_date_sk"),
+    ]
+    filters = [
+        make_filter("f_qoy", "date_dim.d_qoy", "=", 1),
+        make_filter("f_year", "date_dim.d_year", "=", 2001),
+    ]
+    epps = epps or ("cs_c", "c_ca", "cs_d")
+    return Query(
+        "%dD_Q15" % len(epps), _TPCDS,
+        ["catalog_sales", "customer", "customer_address", "date_dim"],
+        joins, filters, epps,
+    )
+
+
+def q18(epps=None):
+    """TPC-DS Q18: branched join over catalog_sales and customer (6 joins)."""
+    joins = [
+        make_join("cs_i", "catalog_sales.cs_item_sk", "item.i_item_sk"),
+        make_join("cs_cd", "catalog_sales.cs_bill_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("cs_c", "catalog_sales.cs_bill_customer_sk",
+                  "customer.c_customer_sk"),
+        make_join("c_ca", "customer.c_current_addr_sk",
+                  "customer_address.ca_address_sk"),
+        make_join("c_hd", "customer.c_current_hdemo_sk",
+                  "household_demographics.hd_demo_sk"),
+        make_join("cs_d", "catalog_sales.cs_sold_date_sk",
+                  "date_dim.d_date_sk"),
+    ]
+    filters = [
+        make_filter("f_year", "date_dim.d_year", "=", 1998),
+        make_filter("f_gender", "customer_demographics.cd_gender", "=", 0),
+        make_filter("f_edu", "customer_demographics.cd_education_status",
+                    "=", 3),
+    ]
+    epps = epps or ("cs_i", "cs_cd", "cs_c", "c_ca", "c_hd", "cs_d")
+    return Query(
+        "%dD_Q18" % len(epps), _TPCDS,
+        ["catalog_sales", "item", "customer_demographics", "customer",
+         "customer_address", "household_demographics", "date_dim"],
+        joins, filters, epps,
+    )
+
+
+def q19(epps=None):
+    """TPC-DS Q19: store_sales star with a customer/address branch."""
+    joins = [
+        make_join("ss_d", "store_sales.ss_sold_date_sk", "date_dim.d_date_sk"),
+        make_join("ss_i", "store_sales.ss_item_sk", "item.i_item_sk"),
+        make_join("ss_c", "store_sales.ss_customer_sk",
+                  "customer.c_customer_sk"),
+        make_join("c_ca", "customer.c_current_addr_sk",
+                  "customer_address.ca_address_sk"),
+        make_join("ss_s", "store_sales.ss_store_sk", "store.s_store_sk"),
+    ]
+    filters = [
+        make_filter("f_manager", "item.i_manager_id", "=", 8),
+        make_filter("f_moy", "date_dim.d_moy", "=", 11),
+        make_filter("f_year", "date_dim.d_year", "=", 1998),
+    ]
+    epps = epps or ("ss_d", "ss_i", "ss_c", "c_ca", "ss_s")
+    return Query(
+        "%dD_Q19" % len(epps), _TPCDS,
+        ["store_sales", "date_dim", "item", "customer", "customer_address",
+         "store"],
+        joins, filters, epps,
+    )
+
+
+def q26(epps=None):
+    """TPC-DS Q26: star join around catalog_sales (Fig. 4's plan)."""
+    joins = [
+        make_join("cs_cd", "catalog_sales.cs_bill_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("cs_d", "catalog_sales.cs_sold_date_sk",
+                  "date_dim.d_date_sk"),
+        make_join("cs_i", "catalog_sales.cs_item_sk", "item.i_item_sk"),
+        make_join("cs_p", "catalog_sales.cs_promo_sk",
+                  "promotion.p_promo_sk"),
+    ]
+    filters = [
+        make_filter("f_gender", "customer_demographics.cd_gender", "=", 1),
+        make_filter("f_marital", "customer_demographics.cd_marital_status",
+                    "=", 2),
+        make_filter("f_year", "date_dim.d_year", "=", 2000),
+    ]
+    epps = epps or ("cs_cd", "cs_d", "cs_i", "cs_p")
+    return Query(
+        "%dD_Q26" % len(epps), _TPCDS,
+        ["catalog_sales", "customer_demographics", "date_dim", "item",
+         "promotion"],
+        joins, filters, epps,
+    )
+
+
+def q27(epps=None):
+    """TPC-DS Q27: star join around store_sales with store dimension."""
+    joins = [
+        make_join("ss_cd", "store_sales.ss_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("ss_d", "store_sales.ss_sold_date_sk", "date_dim.d_date_sk"),
+        make_join("ss_s", "store_sales.ss_store_sk", "store.s_store_sk"),
+        make_join("ss_i", "store_sales.ss_item_sk", "item.i_item_sk"),
+    ]
+    filters = [
+        make_filter("f_gender", "customer_demographics.cd_gender", "=", 1),
+        make_filter("f_year", "date_dim.d_year", "=", 2002),
+        make_filter("f_state", "store.s_state", "=", 3),
+    ]
+    epps = epps or ("ss_cd", "ss_d", "ss_s", "ss_i")
+    return Query(
+        "%dD_Q27" % len(epps), _TPCDS,
+        ["store_sales", "customer_demographics", "date_dim", "store", "item"],
+        joins, filters, epps,
+    )
+
+
+def q29(epps=None):
+    """TPC-DS Q29: sales-then-returns chain across channels (5 joins)."""
+    joins = [
+        make_join("ss_sr", "store_sales.ss_ticket_number",
+                  "store_returns.sr_ticket_number"),
+        make_join("sr_cs", "store_returns.sr_customer_sk",
+                  "catalog_sales.cs_bill_customer_sk"),
+        make_join("ss_d", "store_sales.ss_sold_date_sk", "date_dim.d_date_sk"),
+        make_join("ss_s", "store_sales.ss_store_sk", "store.s_store_sk"),
+        make_join("ss_i", "store_sales.ss_item_sk", "item.i_item_sk"),
+    ]
+    filters = [
+        make_filter("f_moy", "date_dim.d_moy", "=", 4),
+        make_filter("f_year", "date_dim.d_year", "=", 1999),
+        make_filter("f_qty", "store_sales.ss_quantity", "<=", 40),
+    ]
+    epps = epps or ("ss_sr", "sr_cs", "ss_d", "ss_s", "ss_i")
+    return Query(
+        "%dD_Q29" % len(epps), _TPCDS,
+        ["store_sales", "store_returns", "catalog_sales", "date_dim",
+         "store", "item"],
+        joins, filters, epps,
+    )
+
+
+def q84(epps=None):
+    """TPC-DS Q84: customer-centric chain into income_band (5 joins)."""
+    joins = [
+        make_join("c_ca", "customer.c_current_addr_sk",
+                  "customer_address.ca_address_sk"),
+        make_join("c_cd", "customer.c_current_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("c_hd", "customer.c_current_hdemo_sk",
+                  "household_demographics.hd_demo_sk"),
+        make_join("hd_ib", "household_demographics.hd_income_band_sk",
+                  "income_band.ib_income_band_sk"),
+        make_join("cd_sr", "customer_demographics.cd_demo_sk",
+                  "store_returns.sr_cdemo_sk"),
+    ]
+    filters = [
+        make_filter("f_city", "customer_address.ca_city", "=", 500),
+        make_filter("f_income", "income_band.ib_lower_bound", ">=", 32_287),
+    ]
+    epps = epps or ("c_ca", "c_cd", "c_hd", "hd_ib", "cd_sr")
+    return Query(
+        "%dD_Q84" % len(epps), _TPCDS,
+        ["customer", "customer_address", "customer_demographics",
+         "household_demographics", "income_band", "store_returns"],
+        joins, filters, epps,
+    )
+
+
+#: Ordered epp ramp for Q91 (paper Fig. 9: 2D up to 6D). The 2D pair is
+#: the one traced in Fig. 7: the date join and the customer-address join.
+Q91_EPP_RAMP = ("cr_d", "c_ca", "cr_c", "c_cd", "c_hd", "cr_cc")
+
+
+def q91(epps=None, dims=None):
+    """TPC-DS Q91: call-center catalog returns analysis (6 joins).
+
+    ``dims`` picks the first ``dims`` epps of :data:`Q91_EPP_RAMP`.
+    """
+    joins = [
+        make_join("cr_cc", "catalog_returns.cr_call_center_sk",
+                  "call_center.cc_call_center_sk"),
+        make_join("cr_d", "catalog_returns.cr_returned_date_sk",
+                  "date_dim.d_date_sk"),
+        make_join("cr_c", "catalog_returns.cr_returning_customer_sk",
+                  "customer.c_customer_sk"),
+        make_join("c_cd", "customer.c_current_cdemo_sk",
+                  "customer_demographics.cd_demo_sk"),
+        make_join("c_hd", "customer.c_current_hdemo_sk",
+                  "household_demographics.hd_demo_sk"),
+        make_join("c_ca", "customer.c_current_addr_sk",
+                  "customer_address.ca_address_sk"),
+    ]
+    filters = [
+        make_filter("f_year", "date_dim.d_year", "=", 1998),
+        make_filter("f_moy", "date_dim.d_moy", "=", 11),
+        make_filter("f_gmt", "customer_address.ca_gmt_offset", "<=", -7),
+        make_filter("f_buy", "household_demographics.hd_buy_potential",
+                    "=", 2),
+    ]
+    if epps is None:
+        epps = Q91_EPP_RAMP[: (dims or 6)]
+    return Query(
+        "%dD_Q91" % len(epps), _TPCDS,
+        ["catalog_returns", "call_center", "date_dim", "customer",
+         "customer_demographics", "household_demographics",
+         "customer_address"],
+        joins, filters, epps,
+    )
+
+
+def q96(epps=None):
+    """TPC-DS Q96: store_sales against time/household/store (3 joins)."""
+    joins = [
+        make_join("ss_hd", "store_sales.ss_hdemo_sk",
+                  "household_demographics.hd_demo_sk"),
+        make_join("ss_t", "store_sales.ss_sold_time_sk",
+                  "time_dim.t_time_sk"),
+        make_join("ss_s", "store_sales.ss_store_sk", "store.s_store_sk"),
+    ]
+    filters = [
+        make_filter("f_hour", "time_dim.t_hour", "=", 20),
+        make_filter("f_dep", "household_demographics.hd_dep_count", "=", 7),
+    ]
+    epps = epps or ("ss_hd", "ss_t", "ss_s")
+    return Query(
+        "%dD_Q96" % len(epps), _TPCDS,
+        ["store_sales", "household_demographics", "time_dim", "store"],
+        joins, filters, epps,
+    )
+
+
+def job_q1a(dims=3):
+    """JOB Q1a over the IMDB catalog (paper §6.5).
+
+    The benchmark's cyclic implicit predicates are shut off, as the
+    paper does; ``dims`` of the four explicit joins are declared
+    error-prone (3 by default: the large title/movie joins).
+    """
+    joins = [
+        make_join("t_mc", "title.id", "movie_companies.movie_id"),
+        make_join("t_mi", "title.id", "movie_info_idx.movie_id"),
+        make_join("mc_ct", "movie_companies.company_type_id",
+                  "company_type.id"),
+        make_join("mi_it", "movie_info_idx.info_type_id", "info_type.id"),
+    ]
+    filters = [
+        make_filter("f_kind", "company_type.kind", "=", 1),
+        make_filter("f_info", "info_type.info", "=", 50),
+        make_filter("f_note", "movie_companies.note", "<=", 20_000),
+    ]
+    epps = ("t_mc", "t_mi", "mc_ct", "mi_it")[:dims]
+    return Query(
+        "%dD_JOB1a" % len(epps), _JOB,
+        ["title", "movie_companies", "movie_info_idx", "company_type",
+         "info_type"],
+        joins, filters, epps,
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+
+_BUILDERS = {
+    "3D_Q15": lambda: q15(),
+    "3D_Q96": lambda: q96(),
+    "4D_Q7": lambda: q7(),
+    "4D_Q26": lambda: q26(),
+    "4D_Q27": lambda: q27(),
+    "4D_Q91": lambda: q91(dims=4),
+    "5D_Q19": lambda: q19(),
+    "5D_Q29": lambda: q29(),
+    "5D_Q84": lambda: q84(),
+    "6D_Q18": lambda: q18(),
+    "6D_Q91": lambda: q91(dims=6),
+    "2D_Q91": lambda: q91(dims=2),
+    "3D_Q91": lambda: q91(dims=3),
+    "5D_Q91": lambda: q91(dims=5),
+    "3D_JOB1a": lambda: job_q1a(3),
+    "4D_JOB1a": lambda: job_q1a(4),
+}
+
+#: The eleven queries of the paper's main evaluation (Figs. 8, 10, 11, 13).
+PAPER_SUITE = (
+    "3D_Q15", "3D_Q96", "4D_Q7", "4D_Q26", "4D_Q27", "4D_Q91",
+    "5D_Q19", "5D_Q29", "5D_Q84", "6D_Q18", "6D_Q91",
+)
+
+
+def workload(name):
+    """Build the query registered under ``name`` (e.g. ``"4D_Q91"``)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (known: %s)" % (name, sorted(_BUILDERS))
+        ) from None
+    return builder()
+
+
+def paper_suite():
+    """The eleven evaluation queries, in the paper's order."""
+    return [workload(name) for name in PAPER_SUITE]
+
+
+def q91_dimensional_ramp():
+    """Q91 at 2..6 epps (paper Fig. 9)."""
+    return [q91(dims=d) for d in range(2, 7)]
+
+
+# ----------------------------------------------------------------------
+# space construction with in-process caching (benchmarks share spaces)
+
+_SPACE_CACHE = {}
+
+
+def build_space(query, resolution=None, mode="fast", s_min=1e-6, rng=0,
+                cache=True):
+    """Build (and cache) the exploration space for ``query``."""
+    key = (query.name, query.epps, resolution, mode, s_min)
+    if cache and key in _SPACE_CACHE:
+        return _SPACE_CACHE[key]
+    space = ExplorationSpace(query, resolution=resolution, s_min=s_min)
+    space.build(mode=mode, rng=rng)
+    if cache:
+        _SPACE_CACHE[key] = space
+    return space

@@ -1,0 +1,6 @@
+"""Robustness metrics: MSO, ASO, sub-optimality distributions."""
+
+from repro.metrics.mso import SweepResult, exhaustive_sweep
+from repro.metrics.distribution import suboptimality_histogram
+
+__all__ = ["SweepResult", "exhaustive_sweep", "suboptimality_histogram"]

@@ -1,0 +1,100 @@
+"""Run and sweep diagnostics: where does the discovery cost go?
+
+The paper's technical report drills into the gap between the MSO
+guarantee and the empirical MSO; this module provides the measurement
+side of that analysis: per-run cost breakdowns (useful spill work,
+wasted budgets, the 1-D endgame), per-contour accounting, and sweep
+percentile summaries.
+"""
+
+import numpy as np
+
+
+class RunBreakdown:
+    """Cost decomposition of one :class:`RunResult`."""
+
+    __slots__ = ("spill_completed", "spill_wasted", "regular_completed",
+                 "regular_wasted", "fresh", "repeats", "contours_visited")
+
+    def __init__(self, result):
+        self.spill_completed = 0.0
+        self.spill_wasted = 0.0
+        self.regular_completed = 0.0
+        self.regular_wasted = 0.0
+        self.fresh = 0
+        self.repeats = 0
+        contours = set()
+        for record in result.executions:
+            contours.add(record.contour)
+            if record.mode == "spill":
+                if record.repeat:
+                    self.repeats += 1
+                else:
+                    self.fresh += 1
+                if record.completed:
+                    self.spill_completed += record.spent
+                else:
+                    self.spill_wasted += record.spent
+            else:
+                if record.completed:
+                    self.regular_completed += record.spent
+                else:
+                    self.regular_wasted += record.spent
+        self.contours_visited = len(contours)
+
+    @property
+    def total(self):
+        return (self.spill_completed + self.spill_wasted
+                + self.regular_completed + self.regular_wasted)
+
+    @property
+    def wasted_fraction(self):
+        """Share of expenditure on executions that did not complete."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return (self.spill_wasted + self.regular_wasted) / total
+
+    def rows(self):
+        """Tabular view for reports."""
+        return [
+            ("spill (completed)", self.spill_completed),
+            ("spill (budget expired)", self.spill_wasted),
+            ("regular (completed)", self.regular_completed),
+            ("regular (budget expired)", self.regular_wasted),
+            ("fresh spill executions", self.fresh),
+            ("repeat spill executions", self.repeats),
+            ("contours visited", self.contours_visited),
+        ]
+
+
+def contour_cost_profile(result):
+    """``{contour_index: cost spent}`` across one run's executions."""
+    profile = {}
+    for record in result.executions:
+        profile[record.contour] = profile.get(record.contour, 0.0) \
+            + record.spent
+    return dict(sorted(profile.items()))
+
+
+def sweep_summary(sweep, percentiles=(50, 90, 99)):
+    """Summary statistics of a :class:`SweepResult`.
+
+    Returns ``(label, value)`` rows: MSO, ASO, requested percentiles,
+    and the guarantee-gap diagnostics used when comparing MSOg to MSOe.
+    """
+    values = np.asarray(sweep.sub_optimalities).ravel()
+    rows = [
+        ("locations", int(values.size)),
+        ("MSO (max)", float(values.max())),
+        ("ASO (mean)", float(values.mean())),
+    ]
+    for p in percentiles:
+        rows.append(("p%d" % p, float(np.percentile(values, p))))
+    rows.append(("share below 5", float(np.mean(values < 5.0))))
+    return rows
+
+
+def guarantee_gap(sweep, guarantee):
+    """How loose the bound is in practice: ``MSOg / MSOe``."""
+    return guarantee / float(np.asarray(sweep.sub_optimalities).max())

@@ -1,0 +1,25 @@
+"""Sub-optimality distribution profiling (paper Fig. 12).
+
+The paper bins ESS locations by the sub-optimality their processing
+incurred, in ranges of width 5, and reports the percentage of locations
+per bin.
+"""
+
+import numpy as np
+
+
+def suboptimality_histogram(sweep, bin_width=5.0, max_bins=12):
+    """Histogram a :class:`SweepResult` into fixed-width bins.
+
+    Returns a list of ``(label, percentage)`` pairs; the final bin is
+    open-ended so the percentages always total 100.
+    """
+    values = np.asarray(sweep.sub_optimalities).ravel()
+    edges = [bin_width * i for i in range(max_bins)]
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        share = float(np.mean((values >= lo) & (values < hi))) * 100.0
+        rows.append(("%g-%g" % (lo, hi), share))
+    tail = float(np.mean(values >= edges[-1])) * 100.0
+    rows.append((">=%g" % edges[-1], tail))
+    return rows

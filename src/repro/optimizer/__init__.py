@@ -1,0 +1,5 @@
+"""Selinger-style dynamic-programming query optimizer."""
+
+from repro.optimizer.dp import Optimizer, OptimizedPlan
+
+__all__ = ["Optimizer", "OptimizedPlan"]

@@ -1,0 +1,27 @@
+"""Physical plan trees, pipeline decomposition, spill-node identification."""
+
+from repro.plans.nodes import (
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    PlanNode,
+    SeqScan,
+)
+from repro.plans.pipelines import (
+    Pipeline,
+    decompose_pipelines,
+    epp_total_order,
+    spill_epp,
+)
+
+__all__ = [
+    "PlanNode",
+    "SeqScan",
+    "HashJoin",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "Pipeline",
+    "decompose_pipelines",
+    "epp_total_order",
+    "spill_epp",
+]

@@ -1,0 +1,259 @@
+"""Physical plan tree nodes.
+
+A plan is an immutable tree of operators. Nodes carry *structure only*
+(which table, which predicates, which join algorithm); cardinalities and
+costs are computed externally by :mod:`repro.cost.model` for a given
+selectivity assignment, which is what makes vectorised evaluation over
+whole selectivity grids possible.
+
+Node identity: :meth:`PlanNode.signature` produces a hashable recursive
+description used to deduplicate plans across optimizer calls (POSP plans
+found at different ESS locations compare equal iff structurally equal).
+"""
+
+from repro.common.errors import PlanError
+
+
+class PlanNode:
+    """Base class for all plan operators."""
+
+    #: Subclasses override: short operator mnemonic for display.
+    kind = "node"
+
+    def __init__(self, children):
+        self.children = tuple(children)
+        #: Post-order index within the finalised plan; assigned by
+        #: :func:`finalize_plan`.
+        self.node_id = None
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def is_leaf(self):
+        return not self.children
+
+    def walk(self):
+        """Yield every node in the subtree, post-order (children first)."""
+        for child in self.children:
+            for node in child.walk():
+                yield node
+        yield self
+
+    def signature(self):
+        """Hashable structural identity of the subtree."""
+        raise NotImplementedError
+
+    @property
+    def tables(self):
+        """Frozenset of base-relation names contributed by this subtree."""
+        raise NotImplementedError
+
+    def display(self, indent=0):
+        """Multi-line, indented rendering of the subtree."""
+        line = "  " * indent + self.describe()
+        parts = [line]
+        for child in self.children:
+            parts.append(child.display(indent + 1))
+        return "\n".join(parts)
+
+    def describe(self):
+        """One-line description of this node only."""
+        return self.kind
+
+    def __repr__(self):
+        return "<%s %s>" % (type(self).__name__, self.describe())
+
+
+class SeqScan(PlanNode):
+    """Sequential scan of a base table with pushed-down filters.
+
+    ``filter_names`` is the ordered tuple of filter-predicate names applied
+    during the scan.
+    """
+
+    kind = "SeqScan"
+
+    def __init__(self, table, filter_names=()):
+        super().__init__(())
+        self.table = table
+        self.filter_names = tuple(filter_names)
+
+    def signature(self):
+        return ("seqscan", self.table, self.filter_names)
+
+    @property
+    def tables(self):
+        return frozenset((self.table,))
+
+    def describe(self):
+        if self.filter_names:
+            return "SeqScan(%s | %s)" % (self.table, ",".join(self.filter_names))
+        return "SeqScan(%s)" % self.table
+
+
+class JoinNode(PlanNode):
+    """Common behaviour of binary join operators.
+
+    ``predicate_names`` lists every join predicate applied at this node;
+    the first is the *primary* predicate (the equi-join condition the
+    algorithm keys on), the rest act as residual filters when the join
+    closes a cycle in the join graph.
+    """
+
+    def __init__(self, left, right, predicate_names):
+        if not predicate_names:
+            raise PlanError("join node needs at least one predicate")
+        super().__init__((left, right))
+        self.predicate_names = tuple(predicate_names)
+
+    @property
+    def left(self):
+        return self.children[0]
+
+    @property
+    def right(self):
+        return self.children[1]
+
+    @property
+    def primary_predicate(self):
+        return self.predicate_names[0]
+
+    def signature(self):
+        return (
+            self.kind,
+            self.predicate_names,
+            self.left.signature(),
+            self.right.signature(),
+        )
+
+    @property
+    def tables(self):
+        return self.left.tables | self.right.tables
+
+    def describe(self):
+        return "%s(%s)" % (self.kind, ",".join(self.predicate_names))
+
+
+class HashJoin(JoinNode):
+    """Hash join: the *right* child is the build side, the left probes."""
+
+    kind = "HashJoin"
+
+
+class MergeJoin(JoinNode):
+    """Sort-merge join: both inputs are sorted then merged.
+
+    Sorting is folded into the operator's cost (no explicit Sort nodes)
+    but still introduces a blocking boundary on both children for the
+    pipeline decomposition.
+    """
+
+    kind = "MergeJoin"
+
+
+class NestedLoopJoin(JoinNode):
+    """Block nested-loop join with a materialised inner (right) child."""
+
+    kind = "NestedLoopJoin"
+
+
+class IndexNLJoin(PlanNode):
+    """Index nested-loop join: per outer tuple, an index lookup into a
+    base table (no inner scan at all).
+
+    The node is *unary* -- its single child is the outer input; the
+    inner relation is accessed only through the index on
+    ``inner_column`` (which must be catalog-indexed). ``inner_filters``
+    are applied to fetched rows after the lookup. Residual predicates
+    beyond the primary lookup predicate are evaluated on the joined row.
+    """
+
+    kind = "IndexNLJoin"
+
+    def __init__(self, outer, predicate_names, inner_table, inner_column,
+                 inner_filters=()):
+        if not predicate_names:
+            raise PlanError("index join needs at least one predicate")
+        super().__init__((outer,))
+        self.predicate_names = tuple(predicate_names)
+        self.inner_table = inner_table
+        self.inner_column = inner_column
+        self.inner_filters = tuple(inner_filters)
+
+    @property
+    def outer(self):
+        return self.children[0]
+
+    @property
+    def primary_predicate(self):
+        return self.predicate_names[0]
+
+    def signature(self):
+        return (
+            self.kind,
+            self.predicate_names,
+            self.inner_table,
+            self.inner_column,
+            self.inner_filters,
+            self.outer.signature(),
+        )
+
+    @property
+    def tables(self):
+        return self.outer.tables | frozenset((self.inner_table,))
+
+    def describe(self):
+        return "IndexNLJoin(%s -> %s.%s)" % (
+            ",".join(self.predicate_names),
+            self.inner_table,
+            self.inner_column,
+        )
+
+
+#: Node types that apply join predicates (used by spill machinery).
+JOIN_LIKE = (JoinNode, IndexNLJoin)
+
+
+def finalize_plan(root):
+    """Assign post-order ``node_id`` values and return ``root``.
+
+    Plans coming out of the optimizer share subtree objects (DP memo
+    entries); finalisation therefore *copies* the tree so node ids are
+    unambiguous within each finalised plan.
+    """
+    root = _copy_tree(root)
+    for index, node in enumerate(root.walk()):
+        node.node_id = index
+    return root
+
+
+def _copy_tree(node):
+    if isinstance(node, SeqScan):
+        return SeqScan(node.table, node.filter_names)
+    if isinstance(node, IndexNLJoin):
+        outer = _copy_tree(node.children[0])
+        return IndexNLJoin(outer, node.predicate_names, node.inner_table,
+                           node.inner_column, node.inner_filters)
+    if isinstance(node, JoinNode):
+        left = _copy_tree(node.children[0])
+        right = _copy_tree(node.children[1])
+        return type(node)(left, right, node.predicate_names)
+    raise PlanError("cannot copy unknown node type %r" % type(node).__name__)
+
+
+def find_node(root, node_id):
+    """Return the node with ``node_id`` in a finalised plan."""
+    for node in root.walk():
+        if node.node_id == node_id:
+            return node
+    raise PlanError("plan has no node with id %r" % node_id)
+
+
+def join_nodes_for_predicate(root, predicate_name):
+    """All join nodes whose *primary* predicate is ``predicate_name``."""
+    return [
+        node
+        for node in root.walk()
+        if isinstance(node, JOIN_LIKE)
+        and node.primary_predicate == predicate_name
+    ]

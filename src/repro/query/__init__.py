@@ -1,0 +1,6 @@
+"""SPJ query model: predicates, join graphs, error-prone predicate sets."""
+
+from repro.query.predicates import FilterPredicate, JoinPredicate
+from repro.query.query import Query
+
+__all__ = ["FilterPredicate", "JoinPredicate", "Query"]

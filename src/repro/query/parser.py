@@ -1,0 +1,197 @@
+"""A small SQL parser for SPJ queries.
+
+The paper's workload is select-project-join blocks: a FROM list, a WHERE
+conjunction of equi-joins and single-column comparisons. This parser
+accepts exactly that dialect (explicit ``INNER JOIN ... ON`` is also
+supported) and produces a validated :class:`repro.query.Query`:
+
+    SELECT * FROM catalog_sales cs, date_dim d, customer c
+    WHERE cs.cs_sold_date_sk = d.d_date_sk
+      AND cs.cs_bill_customer_sk = c.c_customer_sk
+      AND d.d_year = 2000
+
+Table aliases are resolved; join predicates are auto-named from their
+table pair (``cs_d``), filters from their column (``f_d_year``). The
+``epps`` argument names error-prone predicates; ``epps="joins"``
+declares every join error-prone, the conservative default of §7.
+"""
+
+import re
+
+from repro.common.errors import QueryError
+from repro.query.predicates import FilterPredicate, JoinPredicate
+from repro.query.query import Query
+
+_COMPARATORS = ("<=", ">=", "=", "<", ">")
+
+_SELECT_RE = re.compile(
+    r"^\s*select\s+(?P<cols>.*?)\s+from\s+(?P<rest>.*)$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_JOIN_RE = re.compile(
+    r"\s+(?:inner\s+)?join\s+", re.IGNORECASE
+)
+
+_ON_RE = re.compile(r"\s+on\s+", re.IGNORECASE)
+
+_WHERE_RE = re.compile(r"\s+where\s+", re.IGNORECASE)
+
+_AND_RE = re.compile(r"\s+and\s+", re.IGNORECASE)
+
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_COLREF_RE = re.compile(r"^(%s)\.(%s)$" % (_IDENT, _IDENT))
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+class _ParsedTable:
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias):
+        self.name = name
+        self.alias = alias
+
+
+def _parse_table_item(item):
+    parts = item.strip().split()
+    if len(parts) == 1:
+        return _ParsedTable(parts[0], parts[0])
+    if len(parts) == 2:
+        return _ParsedTable(parts[0], parts[1])
+    if len(parts) == 3 and parts[1].lower() == "as":
+        return _ParsedTable(parts[0], parts[2])
+    raise QueryError("cannot parse FROM item %r" % item)
+
+
+def _split_comparison(text):
+    depth_free = text.strip()
+    for op in _COMPARATORS:
+        if op in depth_free:
+            left, _sep, right = depth_free.partition(op)
+            return left.strip(), op, right.strip()
+    raise QueryError("cannot parse predicate %r" % text)
+
+
+def parse_query(sql, catalog, name="parsed", epps="joins"):
+    """Parse an SPJ ``SELECT`` statement into a :class:`Query`.
+
+    Parameters
+    ----------
+    sql:
+        The statement text (``SELECT ... FROM ... [WHERE ...]``).
+    catalog:
+        Catalog the relations/columns resolve against.
+    name:
+        Query name for reports.
+    epps:
+        ``"joins"`` (every join predicate is error-prone), ``"none"``,
+        or an explicit iterable of predicate names. Join predicates are
+        named ``<leftalias>_<rightalias>``; filters ``f_<column>``
+        (with numeric suffixes on collision).
+    """
+    sql = sql.strip().rstrip(";")
+    match = _SELECT_RE.match(sql)
+    if not match:
+        raise QueryError("statement must start with SELECT ... FROM")
+    rest = match.group("rest")
+
+    where_split = _WHERE_RE.split(rest, maxsplit=1)
+    from_clause = where_split[0]
+    where_clause = where_split[1] if len(where_split) > 1 else ""
+
+    # FROM parsing: comma list, each item possibly followed by
+    # JOIN ... ON ... chains.
+    tables = []
+    join_conditions = []
+    for segment in from_clause.split(","):
+        chain = _JOIN_RE.split(segment)
+        tables.append(_parse_table_item(chain[0]))
+        for joined in chain[1:]:
+            parts = _ON_RE.split(joined, maxsplit=1)
+            if len(parts) != 2:
+                raise QueryError("JOIN without ON in %r" % joined)
+            tables.append(_parse_table_item(parts[0]))
+            join_conditions.extend(_AND_RE.split(parts[1]))
+
+    alias_map = {}
+    for table in tables:
+        if table.alias in alias_map:
+            raise QueryError("duplicate alias %r" % table.alias)
+        alias_map[table.alias] = table.name
+
+    conditions = list(join_conditions)
+    if where_clause:
+        conditions.extend(_AND_RE.split(where_clause))
+
+    def resolve(reference):
+        """alias.column -> table.column (validated against aliases)."""
+        col_match = _COLREF_RE.match(reference)
+        if not col_match:
+            return None
+        alias, column = col_match.groups()
+        if alias not in alias_map:
+            raise QueryError("unknown alias %r in %r" % (alias, reference))
+        return "%s.%s" % (alias_map[alias], column)
+
+    joins = []
+    filters = []
+    used_names = set()
+
+    def unique(base):
+        candidate = base
+        counter = 2
+        while candidate in used_names:
+            candidate = "%s%d" % (base, counter)
+            counter += 1
+        used_names.add(candidate)
+        return candidate
+
+    for condition in conditions:
+        condition = condition.strip().strip("()")
+        if not condition:
+            continue
+        left_text, op, right_text = _split_comparison(condition)
+        left = resolve(left_text)
+        right = resolve(right_text)
+        if left and right:
+            if op != "=":
+                raise QueryError(
+                    "only equi-joins are supported, got %r" % condition)
+            left_alias = left_text.split(".", 1)[0]
+            right_alias = right_text.split(".", 1)[0]
+            join_name = unique("%s_%s" % (left_alias, right_alias))
+            joins.append(JoinPredicate(join_name, left, right))
+        elif left and not right:
+            if not _NUMBER_RE.match(right_text):
+                raise QueryError(
+                    "filter constant must be numeric in %r" % condition)
+            column = left_text.split(".", 1)[1]
+            filters.append(FilterPredicate(
+                unique("f_%s" % column), left, op, float(right_text)))
+        elif right and not left:
+            if not _NUMBER_RE.match(left_text):
+                raise QueryError(
+                    "filter constant must be numeric in %r" % condition)
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+            column = right_text.split(".", 1)[1]
+            filters.append(FilterPredicate(
+                unique("f_%s" % column), right,
+                flipped.get(op, op), float(left_text)))
+        else:
+            raise QueryError("cannot resolve predicate %r" % condition)
+
+    if epps == "joins":
+        epp_names = tuple(j.name for j in joins)
+    elif epps in ("none", None):
+        epp_names = ()
+    else:
+        epp_names = tuple(epps)
+
+    return Query(
+        name,
+        catalog,
+        [t.name for t in tables],
+        joins,
+        filters,
+        epp_names,
+    )

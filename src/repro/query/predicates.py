@@ -1,0 +1,110 @@
+"""Predicate objects for SPJ queries.
+
+Two predicate kinds cover the paper's workload: equi-join predicates
+between two relations, and single-column filter predicates. Either kind
+can be declared *error-prone* (an epp), which maps it to one dimension of
+the Error-prone Selectivity Space; in the paper's experiments all epps are
+join predicates, but filters are supported for generality.
+"""
+
+from repro.common.errors import QueryError
+
+_FILTER_OPS = ("<", "<=", ">", ">=", "=")
+
+
+class JoinPredicate:
+    """An equi-join predicate ``left_table.left_col = right_table.right_col``.
+
+    ``name`` is a stable identifier used to refer to the predicate when
+    declaring epps and reading traces.
+    """
+
+    __slots__ = ("name", "left", "right")
+
+    def __init__(self, name, left, right):
+        for side in (left, right):
+            if "." not in side:
+                raise QueryError(
+                    "join side %r must be a qualified 'table.column'" % side
+                )
+        self.name = name
+        self.left = left
+        self.right = right
+
+    @property
+    def left_table(self):
+        return self.left.split(".", 1)[0]
+
+    @property
+    def left_column(self):
+        return self.left.split(".", 1)[1]
+
+    @property
+    def right_table(self):
+        return self.right.split(".", 1)[0]
+
+    @property
+    def right_column(self):
+        return self.right.split(".", 1)[1]
+
+    @property
+    def tables(self):
+        """Frozenset of the two relation names this predicate connects."""
+        return frozenset((self.left_table, self.right_table))
+
+    def other_side(self, table):
+        """Return the qualified column on the side opposite ``table``."""
+        if table == self.left_table:
+            return self.right
+        if table == self.right_table:
+            return self.left
+        raise QueryError(
+            "table %r is not a side of join %r" % (table, self.name)
+        )
+
+    def column_for(self, table):
+        """Return the qualified column belonging to ``table``."""
+        if table == self.left_table:
+            return self.left
+        if table == self.right_table:
+            return self.right
+        raise QueryError(
+            "table %r is not a side of join %r" % (table, self.name)
+        )
+
+    def __repr__(self):
+        return "Join(%s: %s = %s)" % (self.name, self.left, self.right)
+
+
+class FilterPredicate:
+    """A filter ``table.column op constant`` applied at scan time."""
+
+    __slots__ = ("name", "column", "op", "constant")
+
+    def __init__(self, name, column, op, constant):
+        if "." not in column:
+            raise QueryError(
+                "filter column %r must be a qualified 'table.column'" % column
+            )
+        if op not in _FILTER_OPS:
+            raise QueryError("unsupported filter operator %r" % op)
+        self.name = name
+        self.column = column
+        self.op = op
+        self.constant = constant
+
+    @property
+    def table(self):
+        return self.column.split(".", 1)[0]
+
+    @property
+    def column_name(self):
+        return self.column.split(".", 1)[1]
+
+    def __repr__(self):
+        return "Filter(%s: %s %s %r)" % (
+            self.name,
+            self.column,
+            self.op,
+            self.constant,
+        )

@@ -1,0 +1,179 @@
+"""The SPJ query object: relations, predicates, and the epp declaration.
+
+A :class:`Query` validates its join graph (must be connected), resolves
+all columns against the catalog, and fixes the ordering of error-prone
+predicates, which defines the dimensions ``e_1 .. e_D`` of the ESS.
+"""
+
+from repro.common.errors import QueryError
+from repro.query.predicates import FilterPredicate, JoinPredicate
+
+
+class Query:
+    """A select-project-join query over a catalog.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"4D_Q91"``).
+    catalog:
+        :class:`repro.catalog.schema.Catalog` the query runs against.
+    tables:
+        Iterable of base-relation names.
+    joins:
+        Iterable of :class:`JoinPredicate`.
+    filters:
+        Iterable of :class:`FilterPredicate` (optional).
+    epps:
+        Ordered iterable of join-predicate (or filter-predicate) names that
+        are error-prone. Their order defines the ESS dimensions.
+    """
+
+    def __init__(self, name, catalog, tables, joins, filters=(), epps=()):
+        self.name = name
+        self.catalog = catalog
+        self.tables = tuple(tables)
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError("duplicate relations in query %r" % name)
+        self.joins = tuple(joins)
+        self.filters = tuple(filters)
+        self._validate_references()
+        self._validate_connected()
+
+        by_name = {}
+        for pred in list(self.joins) + list(self.filters):
+            if pred.name in by_name:
+                raise QueryError("duplicate predicate name %r" % pred.name)
+            by_name[pred.name] = pred
+        self.predicates = by_name
+
+        self.epps = tuple(epps)
+        if len(set(self.epps)) != len(self.epps):
+            raise QueryError("duplicate epp names in query %r" % name)
+        for epp in self.epps:
+            if epp not in by_name:
+                raise QueryError("epp %r is not a predicate of %r" % (epp, name))
+
+    # ------------------------------------------------------------------
+    # validation helpers
+
+    def _validate_references(self):
+        table_set = set(self.tables)
+        for join in self.joins:
+            for side in (join.left, join.right):
+                table, _sep, _col = side.partition(".")
+                if table not in table_set:
+                    raise QueryError(
+                        "join %r references %r outside the query" %
+                        (join.name, table)
+                    )
+                self.catalog.column(side)  # raises CatalogError if unknown
+        for filt in self.filters:
+            if filt.table not in table_set:
+                raise QueryError(
+                    "filter %r references %r outside the query" %
+                    (filt.name, filt.table)
+                )
+            self.catalog.column(filt.column)
+
+    def _validate_connected(self):
+        if not self.tables:
+            raise QueryError("query must reference at least one relation")
+        adjacency = {t: set() for t in self.tables}
+        for join in self.joins:
+            a, b = join.left_table, join.right_table
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen = set()
+        stack = [self.tables[0]]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        if seen != set(self.tables):
+            missing = sorted(set(self.tables) - seen)
+            raise QueryError(
+                "join graph of %r is disconnected (unreached: %s)" %
+                (self.name, ", ".join(missing))
+            )
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    @property
+    def dimensions(self):
+        """Number of ESS dimensions D (the number of epps)."""
+        return len(self.epps)
+
+    def predicate(self, name):
+        """Look up a predicate (join or filter) by name."""
+        try:
+            return self.predicates[name]
+        except KeyError:
+            raise QueryError(
+                "query %r has no predicate %r" % (self.name, name)
+            ) from None
+
+    def epp_index(self, name):
+        """ESS dimension index (0-based) of the epp called ``name``."""
+        try:
+            return self.epps.index(name)
+        except ValueError:
+            raise QueryError(
+                "%r is not an epp of query %r" % (name, self.name)
+            ) from None
+
+    def is_epp(self, name):
+        return name in self.epps
+
+    def join_for_tables(self, left_tables, right_tables):
+        """All join predicates connecting two disjoint relation sets."""
+        left_tables = set(left_tables)
+        right_tables = set(right_tables)
+        found = []
+        for join in self.joins:
+            a, b = join.left_table, join.right_table
+            if (a in left_tables and b in right_tables) or (
+                b in left_tables and a in right_tables
+            ):
+                found.append(join)
+        return found
+
+    def filters_for(self, table):
+        """All filter predicates applied to ``table``."""
+        return [f for f in self.filters if f.table == table]
+
+    def with_epps(self, epps, name=None):
+        """Clone this query with a different epp declaration.
+
+        Used to build the dimensionality ramp of Fig. 9 (same query text,
+        2..6 of its joins declared error-prone).
+        """
+        return Query(
+            name or ("%dD_%s" % (len(tuple(epps)), self.name)),
+            self.catalog,
+            self.tables,
+            self.joins,
+            self.filters,
+            tuple(epps),
+        )
+
+    def __repr__(self):
+        return "Query(%s, %d rels, %d joins, D=%d)" % (
+            self.name,
+            len(self.tables),
+            len(self.joins),
+            self.dimensions,
+        )
+
+
+def make_filter(name, column, op, constant):
+    """Convenience constructor mirroring :class:`FilterPredicate`."""
+    return FilterPredicate(name, column, op, constant)
+
+
+def make_join(name, left, right):
+    """Convenience constructor mirroring :class:`JoinPredicate`."""
+    return JoinPredicate(name, left, right)

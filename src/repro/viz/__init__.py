@@ -1,0 +1,21 @@
+"""Visualisation: ASCII diagrams and dependency-free SVG rendering."""
+
+from repro.viz.ascii_art import (
+    ascii_contour_map,
+    ascii_heatmap,
+    ascii_plan_diagram,
+)
+from repro.viz.svg import (
+    render_contour_svg,
+    render_plan_diagram_svg,
+    render_trace_svg,
+)
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_contour_map",
+    "ascii_plan_diagram",
+    "render_plan_diagram_svg",
+    "render_contour_svg",
+    "render_trace_svg",
+]

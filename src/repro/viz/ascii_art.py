@@ -1,0 +1,92 @@
+"""ASCII renderings of 2D selectivity-space artifacts.
+
+Terminal-friendly versions of the paper's figures: plan diagrams
+(Fig. 3's colour regions become letters), contour maps (Fig. 2), and
+generic heatmaps (e.g. the sub-optimality surface of a sweep). All
+renderers put the origin at the bottom-left with dimension 0 on the X
+axis, matching the paper's plots.
+"""
+
+import numpy as np
+
+from repro.common.errors import DiscoveryError
+
+#: Symbols assigned to plan ids, cycling if the POSP is very large.
+PLAN_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+#: Density ramp for heatmaps, light to dark.
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def _require_2d(array):
+    array = np.asarray(array)
+    if array.ndim != 2:
+        raise DiscoveryError(
+            "ASCII rendering needs a 2D array, got %dD" % array.ndim)
+    return array
+
+
+def _flip_rows(lines):
+    """Origin bottom-left: render row 0 (y = 0) last."""
+    return "\n".join(reversed(lines))
+
+
+def ascii_plan_diagram(plan_at, legend=True):
+    """Render a 2D plan diagram; each plan id becomes a letter."""
+    plan_at = _require_2d(plan_at)
+    lines = []
+    for y in range(plan_at.shape[1]):
+        row = "".join(
+            PLAN_GLYPHS[int(plan_at[x, y]) % len(PLAN_GLYPHS)]
+            for x in range(plan_at.shape[0])
+        )
+        lines.append(row)
+    text = _flip_rows(lines)
+    if legend:
+        ids = sorted(set(int(p) for p in plan_at.ravel()))
+        entries = ", ".join(
+            "%s=P%d" % (PLAN_GLYPHS[p % len(PLAN_GLYPHS)], p + 1)
+            for p in ids
+        )
+        text += "\nlegend: " + entries
+    return text
+
+
+def ascii_contour_map(space, contours, trace=None):
+    """Render contour levels (digits) with an optional trace overlay."""
+    cost = _require_2d(space.opt_cost)
+    level = np.zeros(cost.shape, dtype=int)
+    for i in range(len(contours)):
+        level[cost > contours.cost(i)] = i + 1
+    glyphs = "0123456789" + PLAN_GLYPHS.lower()
+    trace = set(tuple(t) for t in (trace or ()))
+    lines = []
+    for y in range(cost.shape[1]):
+        row = "".join(
+            "*" if (x, y) in trace
+            else glyphs[level[x, y] % len(glyphs)]
+            for x in range(cost.shape[0])
+        )
+        lines.append(row)
+    return _flip_rows(lines)
+
+
+def ascii_heatmap(values, lo=None, hi=None, log=True):
+    """Render a 2D value array as a density heatmap.
+
+    ``log=True`` (default) maps magnitudes logarithmically, which suits
+    cost surfaces and sub-optimality distributions spanning decades.
+    """
+    values = _require_2d(np.asarray(values, dtype=float))
+    work = np.log10(np.maximum(values, 1e-300)) if log else values
+    lo = work.min() if lo is None else lo
+    hi = work.max() if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    scaled = np.clip((work - lo) / span, 0.0, 1.0)
+    cells = (scaled * (len(HEAT_GLYPHS) - 1)).round().astype(int)
+    lines = []
+    for y in range(values.shape[1]):
+        lines.append("".join(
+            HEAT_GLYPHS[cells[x, y]] for x in range(values.shape[0])
+        ))
+    return _flip_rows(lines)

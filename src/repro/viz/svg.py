@@ -1,0 +1,205 @@
+"""Dependency-free SVG rendering of selectivity-space figures.
+
+Produces self-contained ``.svg`` documents for the paper's 2D figures:
+plan diagrams (Fig. 3's optimality regions), iso-cost contour maps
+(Fig. 2), and Manhattan-profile execution traces (Fig. 7). Everything
+is emitted by string assembly -- no plotting library required, which
+keeps the repository runnable on the offline machines the benchmarks
+target.
+"""
+
+import math
+
+from repro.common.errors import DiscoveryError
+
+#: Categorical palette for plan regions (recycled when POSP is larger).
+PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#86bcb6", "#d37295", "#fabfd2", "#b6992d", "#499894",
+)
+
+_HEADER = (
+    '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+    'viewBox="0 0 %d %d" font-family="monospace">\n'
+)
+
+
+class _Canvas:
+    """Tiny SVG assembly helper with a flipped-Y data mapping."""
+
+    def __init__(self, cells_x, cells_y, cell=12, margin=46, title=""):
+        self.cell = cell
+        self.margin = margin
+        self.width = cells_x * cell + 2 * margin
+        self.height = cells_y * cell + 2 * margin
+        self.cells_y = cells_y
+        self.parts = [
+            _HEADER % (self.width, self.height, self.width, self.height)
+        ]
+        self.rect(0, 0, self.width, self.height, "#ffffff", raw=True)
+        if title:
+            self.parts.append(
+                '<text x="%d" y="%d" font-size="13">%s</text>\n'
+                % (self.margin, self.margin - 18, _escape(title))
+            )
+
+    # -- coordinate mapping (grid cell -> pixels, origin bottom-left) --
+
+    def px(self, x):
+        return self.margin + x * self.cell
+
+    def py(self, y):
+        return self.margin + (self.cells_y - 1 - y) * self.cell
+
+    # -- primitives ----------------------------------------------------
+
+    def rect(self, x, y, w, h, fill, raw=False, opacity=1.0):
+        if raw:
+            self.parts.append(
+                '<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>\n'
+                % (x, y, w, h, fill))
+        else:
+            self.parts.append(
+                '<rect x="%g" y="%g" width="%g" height="%g" fill="%s" '
+                'fill-opacity="%g"/>\n'
+                % (self.px(x), self.py(y), w * self.cell, h * self.cell,
+                   fill, opacity))
+
+    def line(self, x1, y1, x2, y2, stroke="#222222", width=1.5):
+        self.parts.append(
+            '<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" '
+            'stroke-width="%g"/>\n'
+            % (self.px(x1) + self.cell / 2, self.py(y1) + self.cell / 2,
+               self.px(x2) + self.cell / 2, self.py(y2) + self.cell / 2,
+               stroke, width))
+
+    def dot(self, x, y, fill="#222222", r=3.0):
+        self.parts.append(
+            '<circle cx="%g" cy="%g" r="%g" fill="%s"/>\n'
+            % (self.px(x) + self.cell / 2, self.py(y) + self.cell / 2,
+               r, fill))
+
+    def text(self, px, py, content, size=10, fill="#333333"):
+        self.parts.append(
+            '<text x="%g" y="%g" font-size="%d" fill="%s">%s</text>\n'
+            % (px, py, size, fill, _escape(content)))
+
+    def axes(self, x_label, y_label):
+        self.text(self.width / 2 - 30, self.height - 10, x_label)
+        self.parts.append(
+            '<text x="12" y="%g" font-size="10" fill="#333333" '
+            'transform="rotate(-90 12 %g)">%s</text>\n'
+            % (self.height / 2, self.height / 2, _escape(y_label)))
+
+    def finish(self):
+        self.parts.append("</svg>\n")
+        return "".join(self.parts)
+
+
+def _escape(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _require_2d(space):
+    if space.grid.dims != 2:
+        raise DiscoveryError("SVG figures require a 2D space")
+
+
+def render_plan_diagram_svg(space, path=None, title=None):
+    """Fig. 3 style: colour each grid cell by its optimal plan."""
+    _require_2d(space)
+    nx, ny = space.grid.shape
+    canvas = _Canvas(nx, ny, title=title or
+                     "Plan diagram: %s" % space.query.name)
+    for x in range(nx):
+        for y in range(ny):
+            plan = int(space.plan_at[x, y])
+            canvas.rect(x, y, 1, 1, PALETTE[plan % len(PALETTE)])
+    canvas.axes("sel(%s)" % space.query.epps[0],
+                "sel(%s)" % space.query.epps[1])
+    # Legend: one swatch per plan present.
+    present = sorted(set(int(p) for p in space.plan_at.ravel()))
+    for i, plan in enumerate(present[:12]):
+        y_pix = canvas.margin + 14 * i
+        canvas.parts.append(
+            '<rect x="%g" y="%g" width="10" height="10" fill="%s"/>\n'
+            % (canvas.width - 40, y_pix, PALETTE[plan % len(PALETTE)]))
+        canvas.text(canvas.width - 27, y_pix + 9, "P%d" % (plan + 1))
+    return _emit(canvas, path)
+
+
+def render_contour_svg(space, contours, path=None, title=None):
+    """Fig. 2 style: cost shading plus highlighted contour members."""
+    _require_2d(space)
+    nx, ny = space.grid.shape
+    canvas = _Canvas(nx, ny, title=title or
+                     "Iso-cost contours: %s" % space.query.name)
+    lo = math.log10(space.c_min)
+    hi = math.log10(space.c_max)
+    span = max(hi - lo, 1e-12)
+    for x in range(nx):
+        for y in range(ny):
+            shade = (math.log10(space.opt_cost[x, y]) - lo) / span
+            grey = int(245 - 120 * shade)
+            canvas.rect(x, y, 1, 1, "#%02x%02x%02x" % (grey, grey, 255))
+    for i in range(len(contours)):
+        members = contours.members(i)
+        colour = PALETTE[i % len(PALETTE)]
+        for coord in members.coords:
+            canvas.dot(int(coord[0]), int(coord[1]), fill=colour, r=2.2)
+    canvas.axes("sel(%s)" % space.query.epps[0],
+                "sel(%s)" % space.query.epps[1])
+    return _emit(canvas, path)
+
+
+def render_trace_svg(space, contours, result, path=None, title=None):
+    """Fig. 7 style: the Manhattan profile of one discovery run."""
+    _require_2d(space)
+    nx, ny = space.grid.shape
+    canvas = _Canvas(
+        nx, ny,
+        title=title or "%s trace, subopt %.2f"
+        % (result.algorithm, result.sub_optimality),
+    )
+    lo = math.log10(space.c_min)
+    hi = math.log10(space.c_max)
+    span = max(hi - lo, 1e-12)
+    for x in range(nx):
+        for y in range(ny):
+            shade = (math.log10(space.opt_cost[x, y]) - lo) / span
+            grey = int(248 - 100 * shade)
+            canvas.rect(x, y, 1, 1, "#%02x%02x%02x" % (grey, grey, grey))
+    for i in range(len(contours)):
+        for coord in contours.members(i).coords:
+            canvas.dot(int(coord[0]), int(coord[1]),
+                       fill="#9ecae1", r=1.6)
+    # Manhattan profile from learned bounds.
+    qrun = [0, 0]
+    points = [tuple(qrun)]
+    for record in result.executions:
+        if record.mode == "spill" and record.learned is not None \
+                and record.learned >= 0:
+            dim = space.query.epp_index(record.epp)
+            qrun[dim] = max(qrun[dim], record.learned)
+            points.append(tuple(qrun))
+    for (x1, y1), (x2, y2) in zip(points, points[1:]):
+        canvas.line(x1, y1, x2, y2, stroke="#d62728", width=2.2)
+    for x, y in points:
+        canvas.dot(x, y, fill="#d62728", r=2.6)
+    qa = result.qa_index
+    canvas.dot(qa[0], qa[1], fill="#2ca02c", r=4.0)
+    canvas.text(canvas.px(qa[0]) + 8, canvas.py(qa[1]) + 4, "qa",
+                size=11, fill="#2ca02c")
+    canvas.axes("sel(%s)" % space.query.epps[0],
+                "sel(%s)" % space.query.epps[1])
+    return _emit(canvas, path)
+
+
+def _emit(canvas, path):
+    document = canvas.finish()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(document)
+    return document

@@ -1,0 +1,111 @@
+"""Shared fixtures: toy catalogs, small exactly-built exploration spaces.
+
+Spaces are expensive to build, so the heavyweight fixtures are
+session-scoped; tests must not mutate them (algorithms never do -- all
+run state lives in per-run objects).
+"""
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.harness.workloads import workload
+from repro.query.query import Query, make_filter, make_join
+
+
+@pytest.fixture(scope="session")
+def toy_catalog():
+    """A small 4-table star/chain catalog with fast-to-enumerate plans."""
+    return Catalog(
+        "toy",
+        [
+            Table("fact", 1_000_000, [
+                Column("f_id", 1_000_000),
+                Column("f_dim1", 10_000),
+                Column("f_dim2", 5_000),
+                Column("f_val", 1_000, lo=0, hi=1_000),
+            ]),
+            Table("dim1", 10_000, [
+                Column("d1_id", 10_000),
+                Column("d1_attr", 100, lo=0, hi=100),
+            ]),
+            Table("dim2", 5_000, [
+                Column("d2_id", 5_000),
+                Column("d2_link", 200),
+                Column("d2_attr", 50, lo=0, hi=50),
+            ]),
+            Table("dim3", 2_000, [
+                Column("d3_id", 200),
+                Column("d3_attr", 20, lo=0, hi=20),
+            ]),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_query(toy_catalog):
+    """fact -> dim1, fact -> dim2 -> dim3 with two error-prone joins."""
+    return Query(
+        "toy_2d", toy_catalog,
+        ["fact", "dim1", "dim2", "dim3"],
+        [
+            make_join("j1", "fact.f_dim1", "dim1.d1_id"),
+            make_join("j2", "fact.f_dim2", "dim2.d2_id"),
+            make_join("j3", "dim2.d2_link", "dim3.d3_id"),
+        ],
+        [make_filter("f1", "fact.f_val", "<", 100)],
+        epps=("j1", "j2"),
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_query_3d(toy_catalog):
+    """Same query with all three joins error-prone."""
+    return Query(
+        "toy_3d", toy_catalog,
+        ["fact", "dim1", "dim2", "dim3"],
+        [
+            make_join("j1", "fact.f_dim1", "dim1.d1_id"),
+            make_join("j2", "fact.f_dim2", "dim2.d2_id"),
+            make_join("j3", "dim2.d2_link", "dim3.d3_id"),
+        ],
+        [make_filter("f1", "fact.f_val", "<", 100)],
+        epps=("j1", "j2", "j3"),
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_space(toy_query):
+    """Exactly-built 2D space on a 16x16 grid (ground truth POSP)."""
+    space = ExplorationSpace(toy_query, resolution=16, s_min=1e-5)
+    return space.build(mode="exact")
+
+
+@pytest.fixture(scope="session")
+def toy_space_3d(toy_query_3d):
+    """Exactly-built 3D space on an 8^3 grid."""
+    space = ExplorationSpace(toy_query_3d, resolution=8, s_min=1e-5)
+    return space.build(mode="exact")
+
+
+@pytest.fixture(scope="session")
+def toy_contours(toy_space):
+    return ContourSet(toy_space)
+
+
+@pytest.fixture(scope="session")
+def toy_contours_3d(toy_space_3d):
+    return ContourSet(toy_space_3d)
+
+
+@pytest.fixture(scope="session")
+def q91_2d_space():
+    """TPC-DS Q91 with two epps, exactly built at modest resolution."""
+    space = ExplorationSpace(workload("2D_Q91"), resolution=20)
+    return space.build(mode="exact")
+
+
+@pytest.fixture(scope="session")
+def q91_2d_contours(q91_2d_space):
+    return ContourSet(q91_2d_space)

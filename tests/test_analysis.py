@@ -1,0 +1,63 @@
+"""Tests for run/sweep diagnostics."""
+
+import pytest
+
+from repro.algorithms.spillbound import SpillBound
+from repro.metrics.analysis import (
+    RunBreakdown,
+    contour_cost_profile,
+    guarantee_gap,
+    sweep_summary,
+)
+from repro.metrics.mso import exhaustive_sweep
+
+
+@pytest.fixture(scope="module")
+def sb_run(toy_space, toy_contours):
+    return SpillBound(toy_space, toy_contours).run((10, 10))
+
+
+class TestRunBreakdown:
+    def test_total_matches_run(self, sb_run):
+        breakdown = RunBreakdown(sb_run)
+        assert breakdown.total == pytest.approx(sb_run.total_cost)
+
+    def test_wasted_fraction_in_unit_interval(self, sb_run):
+        breakdown = RunBreakdown(sb_run)
+        assert 0.0 <= breakdown.wasted_fraction <= 1.0
+
+    def test_completed_regular_work_present(self, sb_run):
+        # Every SpillBound run ends with a completing regular execution.
+        breakdown = RunBreakdown(sb_run)
+        assert breakdown.regular_completed > 0
+
+    def test_rows_render(self, sb_run):
+        rows = RunBreakdown(sb_run).rows()
+        labels = [label for label, _v in rows]
+        assert "contours visited" in labels
+
+
+class TestContourProfile:
+    def test_profile_sums_to_total(self, sb_run):
+        profile = contour_cost_profile(sb_run)
+        assert sum(profile.values()) == pytest.approx(sb_run.total_cost)
+
+    def test_keys_sorted(self, sb_run):
+        keys = list(contour_cost_profile(sb_run))
+        assert keys == sorted(keys)
+
+
+class TestSweepSummary:
+    def test_rows(self, toy_space, toy_contours):
+        sweep = exhaustive_sweep(SpillBound(toy_space, toy_contours))
+        rows = dict(sweep_summary(sweep))
+        assert rows["MSO (max)"] == pytest.approx(sweep.mso)
+        assert rows["ASO (mean)"] == pytest.approx(sweep.aso)
+        assert rows["p50"] <= rows["p90"] <= rows["p99"]
+        assert 0.0 <= rows["share below 5"] <= 1.0
+
+    def test_guarantee_gap(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        sweep = exhaustive_sweep(sb)
+        gap = guarantee_gap(sweep, sb.mso_guarantee())
+        assert gap >= 1.0  # bounds hold, so the gap is at least 1

@@ -1,0 +1,62 @@
+"""Tests for anorexic plan-diagram reduction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DiscoveryError
+from repro.ess.anorexic import anorexic_reduction
+
+
+class TestReduction:
+    def test_cost_within_threshold(self, toy_space):
+        lam = 0.2
+        reduced = anorexic_reduction(toy_space, lam)
+        for index in toy_space.grid.indices():
+            plan_id = int(reduced.plan_at[index])
+            cost = toy_space.plans[plan_id].cost[index]
+            assert cost <= (1 + lam) * toy_space.optimal_cost(index) \
+                * (1 + 1e-9)
+
+    def test_never_grows_cardinality(self, toy_space):
+        reduced = anorexic_reduction(toy_space, 0.2)
+        assert reduced.cardinality <= toy_space.posp_size()
+
+    def test_monotone_in_lambda(self, toy_space):
+        sizes = [
+            anorexic_reduction(toy_space, lam).cardinality
+            for lam in (0.0, 0.1, 0.2, 0.5, 1.0, 10.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_huge_lambda_collapses_to_one(self, toy_space):
+        reduced = anorexic_reduction(toy_space, 1e9)
+        assert reduced.cardinality == 1
+
+    def test_zero_lambda_optimal_everywhere(self, toy_space):
+        reduced = anorexic_reduction(toy_space, 0.0)
+        for index in toy_space.grid.indices():
+            plan_id = int(reduced.plan_at[index])
+            cost = toy_space.plans[plan_id].cost[index]
+            assert cost == pytest.approx(
+                toy_space.optimal_cost(index), rel=1e-9)
+
+    def test_retained_ids_cover_assignment(self, toy_space):
+        reduced = anorexic_reduction(toy_space, 0.2)
+        present = set(int(p) for p in np.unique(reduced.plan_at))
+        assert present <= set(reduced.retained)
+
+    def test_rejects_negative_lambda(self, toy_space):
+        with pytest.raises(DiscoveryError):
+            anorexic_reduction(toy_space, -0.1)
+
+    def test_requires_built_space(self, toy_query):
+        from repro.ess.space import ExplorationSpace
+        space = ExplorationSpace(toy_query, resolution=4, s_min=1e-5)
+        with pytest.raises(DiscoveryError):
+            anorexic_reduction(space)
+
+    def test_deterministic(self, toy_space):
+        a = anorexic_reduction(toy_space, 0.2)
+        b = anorexic_reduction(toy_space, 0.2)
+        assert np.array_equal(a.plan_at, b.plan_at)
+        assert a.retained == b.retained

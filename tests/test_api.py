@@ -1,0 +1,27 @@
+"""Public API surface tests: everything advertised is importable/usable."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_path(self):
+        """The docstring's quickstart must actually work."""
+        query = repro.workload("2D_Q91")
+        space = repro.build_space(query, resolution=8)
+        sb = repro.SpillBound(space)
+        assert sb.mso_guarantee() == 10.0
+        sweep = repro.exhaustive_sweep(sb, sample=9, rng=0)
+        assert sweep.mso <= 10.0 + 1e-6
+
+    def test_guarantee_by_query_inspection(self):
+        """The paper's headline property: the bound is known from the
+        query alone (its epp count), before any preprocessing."""
+        for d in (2, 4, 6):
+            assert repro.spillbound_guarantee(d) == d * d + 3 * d

@@ -1,0 +1,58 @@
+"""Tests for the oracle and native-optimizer baselines."""
+
+import pytest
+
+from repro.algorithms.native import NativeOptimizer
+from repro.algorithms.oracle import Oracle
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestOracle:
+    def test_suboptimality_is_one_everywhere(self, toy_space):
+        oracle = Oracle(toy_space)
+        for index in [(0, 0), (8, 3), (15, 15)]:
+            assert oracle.run(index).sub_optimality == pytest.approx(1.0)
+
+    def test_single_execution(self, toy_space):
+        result = Oracle(toy_space).run((5, 5))
+        assert result.num_executions == 1
+        assert result.executions[0].completed
+
+    def test_guarantee(self, toy_space):
+        assert Oracle(toy_space).mso_guarantee() == 1.0
+
+
+class TestNative:
+    def test_estimate_location_in_grid(self, toy_space):
+        native = NativeOptimizer(toy_space)
+        index = native.estimate_index
+        for d, pos in enumerate(index):
+            assert 0 <= pos < toy_space.grid.shape[d]
+
+    def test_perfect_when_estimate_correct(self, toy_space):
+        native = NativeOptimizer(toy_space)
+        result = native.run(native.estimate_index)
+        assert result.sub_optimality == pytest.approx(1.0)
+
+    def test_suboptimal_far_from_estimate(self, toy_space):
+        native = NativeOptimizer(toy_space)
+        sweep = exhaustive_sweep(native)
+        assert sweep.mso > 1.0
+
+    def test_worst_case_dominates_fixed_estimate(self, toy_space):
+        native = NativeOptimizer(toy_space)
+        sweep = exhaustive_sweep(native)
+        assert native.worst_case_mso() >= sweep.mso - 1e-9
+
+    def test_no_guarantee(self, toy_space):
+        assert NativeOptimizer(toy_space).mso_guarantee() is None
+
+    def test_worst_case_exceeds_robust_algorithms(self, q91_2d_space,
+                                                  q91_2d_contours):
+        """The paper's motivation: native worst case is far above the
+        discovery algorithms' empirical MSO."""
+        from repro.algorithms.spillbound import SpillBound
+        native = NativeOptimizer(q91_2d_space)
+        sb_sweep = exhaustive_sweep(
+            SpillBound(q91_2d_space, q91_2d_contours))
+        assert native.worst_case_mso() > sb_sweep.mso

@@ -1,0 +1,126 @@
+"""Unit tests for the catalog layer (schema, stats, benchmark catalogs)."""
+
+import pytest
+
+from repro.catalog.job import job_catalog
+from repro.catalog.schema import Catalog, Column, Table
+from repro.catalog.tpcds import mini_tpcds_catalog, tpcds_catalog
+from repro.common.errors import CatalogError
+
+
+class TestColumn:
+    def test_rejects_nonpositive_ndv(self):
+        with pytest.raises(CatalogError):
+            Column("c", ndv=0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(CatalogError):
+            Column("c", ndv=10, width=0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(CatalogError):
+            Column("c", ndv=10, lo=5.0, hi=1.0)
+
+    def test_qualified_name(self):
+        table = Table("t", 10, [Column("c", 5)])
+        assert table.column("c").qualified_name == "t.c"
+
+
+class TestTable:
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10, [Column("c", 5), Column("c", 3)])
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(CatalogError):
+            Table("t", 0, [Column("c", 5)])
+
+    def test_unknown_column_raises(self):
+        table = Table("t", 10, [Column("c", 5)])
+        with pytest.raises(CatalogError):
+            table.column("nope")
+
+    def test_pages_ceiling(self):
+        # 10 columns x 8 bytes = 80 bytes/row -> 102 rows/page.
+        table = Table("t", 1000, [Column("c%d" % i, 5) for i in range(10)])
+        assert table.row_width == 80
+        assert table.pages == 10  # ceil(1000 / 102)
+
+    def test_pages_at_least_one(self):
+        table = Table("t", 1, [Column("c", 1)])
+        assert table.pages == 1
+
+
+class TestCatalog:
+    def test_rejects_duplicate_tables(self):
+        t = lambda: Table("t", 10, [Column("c", 5)])
+        with pytest.raises(CatalogError):
+            Catalog("x", [t(), t()])
+
+    def test_column_lookup_by_qualified_name(self):
+        cat = Catalog("x", [Table("t", 10, [Column("c", 5)])])
+        assert cat.column("t.c").ndv == 5
+
+    def test_column_lookup_requires_dot(self):
+        cat = Catalog("x", [Table("t", 10, [Column("c", 5)])])
+        with pytest.raises(CatalogError):
+            cat.column("justacolumn")
+
+    def test_unknown_table_raises(self):
+        cat = Catalog("x", [Table("t", 10, [Column("c", 5)])])
+        with pytest.raises(CatalogError):
+            cat.table("nope")
+
+    def test_contains(self):
+        cat = Catalog("x", [Table("t", 10, [Column("c", 5)])])
+        assert "t" in cat
+        assert "u" not in cat
+
+    def test_scaled_rows(self):
+        cat = Catalog("x", [Table("t", 1000, [Column("pk", 1000),
+                                              Column("attr", 7)])])
+        half = cat.scaled(0.5)
+        assert half.table("t").row_count == 500
+        # Key-like NDV scales with the table; attribute NDV does not.
+        assert half.column("t.pk").ndv == 500
+        assert half.column("t.attr").ndv == 7
+
+    def test_scaled_rejects_nonpositive(self):
+        cat = Catalog("x", [Table("t", 10, [Column("c", 5)])])
+        with pytest.raises(CatalogError):
+            cat.scaled(0)
+
+
+class TestBenchmarkCatalogs:
+    def test_tpcds_has_paper_tables(self):
+        cat = tpcds_catalog()
+        for name in ("store_sales", "catalog_sales", "catalog_returns",
+                     "customer", "customer_address", "date_dim", "item",
+                     "call_center", "household_demographics"):
+            assert name in cat
+
+    def test_tpcds_fact_dimension_ratio(self):
+        cat = tpcds_catalog()
+        assert cat.table("store_sales").row_count > \
+            100 * cat.table("customer").row_count
+
+    def test_tpcds_scaling(self):
+        sf10 = tpcds_catalog(scale_factor=10)
+        sf100 = tpcds_catalog()
+        ratio = (sf100.table("store_sales").row_count
+                 / sf10.table("store_sales").row_count)
+        assert 9.0 < ratio < 11.0
+
+    def test_mini_catalog_is_small(self):
+        mini = mini_tpcds_catalog(rows_cap=5000)
+        assert max(t.row_count for t in mini.tables.values()) <= 5000
+        assert min(t.row_count for t in mini.tables.values()) >= 1
+
+    def test_job_has_q1a_tables(self):
+        cat = job_catalog()
+        for name in ("title", "movie_companies", "movie_info_idx",
+                     "company_type", "info_type"):
+            assert name in cat
+
+    def test_job_company_type_tiny(self):
+        assert job_catalog().table("company_type").row_count == 4

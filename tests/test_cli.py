@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_registered(self):
+        for name in ("fig8", "fig13", "table2", "wallclock", "job"):
+            assert name in EXPERIMENTS
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(["list"], capsys)
+        assert code == 0
+        assert "2D_Q91" in out
+        assert "imdb_job" in out
+
+    def test_guarantee(self, capsys):
+        code, out = run_cli(
+            ["guarantee", "2D_Q91", "--resolution", "8"], capsys)
+        assert code == 0
+        assert "10.00" in out
+        assert "D^2+3D" in out
+
+    def test_run_default_qa(self, capsys):
+        code, out = run_cli(
+            ["run", "2D_Q91", "--resolution", "8"], capsys)
+        assert code == 0
+        assert "sub-optimality" in out
+
+    def test_run_explicit_qa_and_algorithm(self, capsys):
+        code, out = run_cli(
+            ["run", "2D_Q91", "--resolution", "8", "--qa", "3,4",
+             "--algorithm", "alignedbound"], capsys)
+        assert code == 0
+        assert "alignedbound at qa=(3, 4)" in out
+
+    def test_sweep_sampled(self, capsys):
+        code, out = run_cli(
+            ["sweep", "2D_Q91", "--resolution", "8", "--sample", "10"],
+            capsys)
+        assert code == 0
+        assert "spillbound" in out
+        assert "planbouquet" in out
+
+    def test_epps(self, capsys):
+        code, out = run_cli(["epps", "3D_Q15"], capsys)
+        assert code == 0
+        assert "cs_c" in out
+
+    def test_experiment_fig9(self, capsys):
+        code, out = run_cli(
+            ["experiment", "fig9", "--resolution", "5"], capsys)
+        assert code == 0
+        assert "Q91 guarantee ramp" in out
+
+    def test_unknown_workload_raises(self, capsys):
+        with pytest.raises(KeyError):
+            main(["guarantee", "17D_Q0"])
+
+    def test_figures_export(self, capsys, tmp_path):
+        code, out = run_cli(
+            ["figures", "2D_Q91", "--resolution", "8",
+             "--out", str(tmp_path)], capsys)
+        assert code == 0
+        assert (tmp_path / "2D_Q91_plan_diagram.svg").exists()
+        assert (tmp_path / "2D_Q91_contours.svg").exists()
+        assert (tmp_path / "2D_Q91_trace.svg").exists()
+
+    def test_build_and_reload(self, capsys, tmp_path):
+        path = str(tmp_path / "q91.npz")
+        code, out = run_cli(
+            ["build", "2D_Q91", path, "--resolution", "8"], capsys)
+        assert code == 0
+        from repro.ess.persistence import load_space
+        from repro.harness.workloads import workload
+        loaded = load_space(workload("2D_Q91"), path)
+        assert loaded.built
+        assert loaded.grid.shape == (8, 8)
+
+    def test_module_entry_point(self):
+        import subprocess
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Registered workloads" in proc.stdout

@@ -1,0 +1,111 @@
+"""Unit and property tests for synthetic row generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.datagen import (
+    generate_database,
+    generate_rows,
+    true_filter_selectivity,
+    true_join_selectivity,
+)
+from repro.catalog.schema import Catalog, Column, Table
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return Table("t", 2000, [
+        Column("pk", 2000),
+        Column("fk", 50),
+        Column("val", 100, lo=0, hi=100),
+    ])
+
+
+class TestGenerateRows:
+    def test_shapes(self, small_table):
+        data = generate_rows(small_table, rng=0)
+        assert set(data) == {"pk", "fk", "val"}
+        assert all(len(col) == 2000 for col in data.values())
+
+    def test_primary_key_unique(self, small_table):
+        data = generate_rows(small_table, rng=0)
+        assert len(np.unique(data["pk"])) == 2000
+
+    def test_fk_domain(self, small_table):
+        data = generate_rows(small_table, rng=0)
+        assert data["fk"].min() >= 1
+        assert data["fk"].max() <= 50
+
+    def test_deterministic(self, small_table):
+        a = generate_rows(small_table, rng=42)
+        b = generate_rows(small_table, rng=42)
+        assert all(np.array_equal(a[c], b[c]) for c in a)
+
+    def test_row_count_override(self, small_table):
+        data = generate_rows(small_table, rng=0, row_count=100)
+        assert len(data["fk"]) == 100
+
+    def test_skew_concentrates_mass(self, small_table):
+        uniform = generate_rows(small_table, rng=0)
+        skewed = generate_rows(small_table, rng=0, skew={"fk": 2.0})
+        top_uniform = np.mean(uniform["fk"] == 1)
+        top_skewed = np.mean(skewed["fk"] == 1)
+        assert top_skewed > 3 * top_uniform
+
+
+class TestGenerateDatabase:
+    def test_all_tables_present(self, small_table):
+        catalog = Catalog("c", [small_table])
+        db = generate_database(catalog, rng=1)
+        assert set(db) == {"t"}
+
+    def test_qualified_skew_routing(self, small_table):
+        catalog = Catalog("c", [small_table])
+        plain = generate_database(catalog, rng=3)
+        skewed = generate_database(catalog, rng=3, skew={"t.fk": 2.0})
+        assert np.mean(skewed["t"]["fk"] == 1) > np.mean(
+            plain["t"]["fk"] == 1)
+
+    def test_row_count_override(self, small_table):
+        catalog = Catalog("c", [small_table])
+        db = generate_database(catalog, rng=1, row_counts={"t": 10})
+        assert len(db["t"]["pk"]) == 10
+
+
+class TestTrueSelectivities:
+    def test_join_selectivity_brute_force(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(1, 20, size=60)
+        right = rng.integers(1, 20, size=40)
+        matches = sum(1 for a in left for b in right if a == b)
+        expected = matches / (60 * 40)
+        assert true_join_selectivity(left, right) == pytest.approx(expected)
+
+    @given(
+        left=st.lists(st.integers(0, 8), min_size=1, max_size=40),
+        right=st.lists(st.integers(0, 8), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_join_selectivity_property(self, left, right):
+        left = np.array(left)
+        right = np.array(right)
+        matches = sum(1 for a in left for b in right if a == b)
+        expected = matches / (len(left) * len(right))
+        assert true_join_selectivity(left, right) == pytest.approx(expected)
+
+    def test_join_selectivity_empty(self):
+        assert true_join_selectivity(np.array([]), np.array([1])) == 0.0
+
+    def test_filter_selectivity_ops(self):
+        vals = np.array([1, 2, 3, 4, 5])
+        assert true_filter_selectivity(vals, "<", 3) == pytest.approx(0.4)
+        assert true_filter_selectivity(vals, "<=", 3) == pytest.approx(0.6)
+        assert true_filter_selectivity(vals, ">", 3) == pytest.approx(0.4)
+        assert true_filter_selectivity(vals, ">=", 3) == pytest.approx(0.6)
+        assert true_filter_selectivity(vals, "=", 3) == pytest.approx(0.2)
+
+    def test_filter_selectivity_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            true_filter_selectivity(np.array([1]), "!=", 1)

@@ -1,0 +1,78 @@
+"""Tests for plan-diagram diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.spillbound import SpillBound
+from repro.common.errors import DiscoveryError
+from repro.ess.anorexic import anorexic_reduction
+from repro.ess.diagnostics import (
+    DiagramStats,
+    contour_density_profile,
+    plan_diagram_stats,
+    resolution_convergence,
+)
+
+
+class TestDiagramStats:
+    def test_uniform_diagram(self):
+        stats = DiagramStats(np.array([[0, 1], [2, 3]]))
+        assert stats.cardinality == 4
+        assert stats.largest_share == pytest.approx(0.25)
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_plan(self):
+        stats = DiagramStats(np.zeros((4, 4), dtype=int))
+        assert stats.cardinality == 1
+        assert stats.largest_share == 1.0
+
+    def test_skewed_diagram_positive_gini(self):
+        # One dominant plan (91 cells) plus nine singleton regions.
+        plan_at = np.zeros(100, dtype=int)
+        plan_at[:9] = np.arange(1, 10)
+        stats = DiagramStats(plan_at)
+        assert stats.gini > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(DiscoveryError):
+            DiagramStats(np.empty((0,), dtype=int))
+
+    def test_space_integration(self, toy_space):
+        stats = plan_diagram_stats(toy_space)
+        assert stats.cardinality == toy_space.posp_size()
+        assert abs(stats.areas.sum() - 1.0) < 1e-9
+
+    def test_reduced_diagram_smaller(self, toy_space):
+        full = plan_diagram_stats(toy_space)
+        reduced = plan_diagram_stats(
+            toy_space, anorexic_reduction(toy_space, 0.2))
+        assert reduced.cardinality <= full.cardinality
+
+    def test_rows_render(self, toy_space):
+        labels = [l for l, _v in plan_diagram_stats(toy_space).rows()]
+        assert "plan cardinality" in labels
+
+
+class TestContourProfile:
+    def test_rows_cover_all_contours(self, toy_space, toy_contours):
+        rows = contour_density_profile(toy_contours)
+        assert len(rows) == len(toy_contours)
+        for _i, cost, members, plans in rows:
+            assert cost > 0
+            assert plans <= max(members, 1)
+
+
+class TestResolutionConvergence:
+    def test_rows_and_guarantee(self, toy_query):
+        rows = resolution_convergence(
+            toy_query, (6, 10), algorithm_cls=SpillBound)
+        assert [r[0] for r in rows] == [6, 10]
+        d = toy_query.dimensions
+        for _res, posp, density, mso in rows:
+            assert posp >= 1
+            assert density >= 1
+            assert mso <= d * d + 3 * d + 1e-6
+
+    def test_without_algorithm(self, toy_query):
+        rows = resolution_convergence(toy_query, (6,))
+        assert rows[0][3] is None

@@ -1,0 +1,124 @@
+"""Edge cases across the discovery stack."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.alignedbound import AlignedBound
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.algorithms.spillbound import SpillBound
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.metrics.mso import exhaustive_sweep
+from repro.query.query import Query, make_join
+
+
+class TestOneDimensionalQueries:
+    """D = 1: SpillBound degenerates to PlanBouquet immediately."""
+
+    @pytest.fixture(scope="class")
+    def space_1d(self, toy_catalog):
+        query = Query(
+            "toy_1d", toy_catalog, ["fact", "dim1"],
+            [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+            epps=("j1",),
+        )
+        space = ExplorationSpace(query, resolution=32, s_min=1e-5)
+        return space.build(mode="exact")
+
+    def test_spillbound_runs_regular_only(self, space_1d):
+        sb = SpillBound(space_1d, ContourSet(space_1d))
+        result = sb.run((20,))
+        assert all(r.mode == "regular" for r in result.executions)
+
+    def test_bound_is_four(self, space_1d):
+        # D^2 + 3D = 4 at D = 1; the 1-D PlanBouquet phase achieves it.
+        sb = SpillBound(space_1d, ContourSet(space_1d))
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 4.0 + 1e-6
+
+    def test_alignedbound_matches_spillbound(self, space_1d):
+        contours = ContourSet(space_1d)
+        sb_sweep = exhaustive_sweep(SpillBound(space_1d, contours))
+        ab_sweep = exhaustive_sweep(AlignedBound(space_1d, contours))
+        assert np.allclose(sb_sweep.sub_optimalities,
+                           ab_sweep.sub_optimalities)
+
+
+class TestCornerTruths:
+    def test_origin_is_cheap_everywhere(self, toy_space, toy_contours):
+        """At the origin every algorithm completes on the first
+        contour with small absolute expenditure."""
+        for cls in (PlanBouquet, SpillBound, AlignedBound):
+            result = cls(toy_space, toy_contours).run(
+                toy_space.grid.origin)
+            assert result.executions[-1].contour == 0
+
+    def test_terminus_completes(self, toy_space, toy_contours):
+        for cls in (PlanBouquet, SpillBound, AlignedBound):
+            result = cls(toy_space, toy_contours).run(
+                toy_space.grid.terminus)
+            assert result.executions[-1].completed
+
+    def test_axis_edges(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        last = toy_space.grid.shape[0] - 1
+        for qa in [(0, last), (last, 0)]:
+            result = sb.run(qa)
+            assert result.sub_optimality <= sb.mso_guarantee() + 1e-6
+
+
+class TestDegenerateGeometry:
+    def test_single_plan_space(self, toy_catalog):
+        """A 2-relation query whose POSP may collapse to one plan."""
+        query = Query(
+            "pairq", toy_catalog, ["fact", "dim1"],
+            [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+            epps=("j1",),
+        )
+        space = ExplorationSpace(query, resolution=8, s_min=1e-3)
+        space.build(mode="exact")
+        sb = SpillBound(space, ContourSet(space))
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 4.0 + 1e-6
+
+    def test_tiny_grid(self, toy_query):
+        """Resolution 2 (corners only) still works end to end."""
+        space = ExplorationSpace(toy_query, resolution=2, s_min=1e-4)
+        space.build(mode="exact")
+        sb = SpillBound(space, ContourSet(space))
+        for index in space.grid.indices():
+            result = sb.run(index)
+            assert result.executions[-1].completed
+
+    def test_narrow_selectivity_range(self, toy_query):
+        """An s_min close to 1 yields very few contours."""
+        space = ExplorationSpace(toy_query, resolution=6, s_min=0.5)
+        space.build(mode="exact")
+        contours = ContourSet(space)
+        assert 1 <= len(contours) <= 6
+        sb = SpillBound(space, contours)
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= sb.mso_guarantee() + 1e-6
+
+
+class TestBudgetBoundaries:
+    def test_exact_budget_is_inclusive(self, toy_space):
+        from repro.engine.simulated import SimulatedEngine
+        engine = SimulatedEngine(toy_space, (4, 4))
+        plan = toy_space.optimal_plan((4, 4))
+        cost = toy_space.optimal_cost((4, 4))
+        assert engine.execute(plan, cost).completed
+        assert not engine.execute(plan, cost * (1 - 1e-6)).completed
+
+    def test_zero_learning_lower_bound(self, toy_space):
+        """A spill budget below the subtree's minimum learns index -1
+        (nothing certified), and the algorithm treats it as qrun 0."""
+        from repro.engine.simulated import SimulatedEngine
+        engine = SimulatedEngine(toy_space, (10, 10))
+        plan = toy_space.optimal_plan((10, 10))
+        epp, node = plan.spill_target(set(toy_space.query.epps))
+        profile = engine._subtree_profile(plan, epp, node)
+        outcome = engine.execute_spill(plan, epp, node,
+                                       float(profile[0]) * 0.5)
+        assert not outcome.completed
+        assert outcome.learned_index == -1

@@ -1,0 +1,74 @@
+"""Tests for automated error-prone predicate identification (§7)."""
+
+import pytest
+
+from repro.harness.epp_selection import EppRanking, declare_epps, rank_epps
+from repro.harness.workloads import workload
+
+
+class TestRanking:
+    def test_scores_sorted_descending(self, toy_query):
+        ranking = rank_epps(toy_query)
+        spreads = [s for _n, s in ranking.scores]
+        assert spreads == sorted(spreads, reverse=True)
+
+    def test_all_joins_assessed(self, toy_query):
+        ranking = rank_epps(toy_query)
+        assert {n for n, _s in ranking.scores} == {"j1", "j2", "j3"}
+
+    def test_spreads_at_least_one(self, toy_query):
+        ranking = rank_epps(toy_query)
+        assert all(s >= 1.0 for _n, s in ranking.scores)
+
+    def test_top_and_select(self):
+        ranking = EppRanking([("a", 100.0), ("b", 5.0), ("c", 1.1)])
+        assert ranking.top(2) == ["a", "b"]
+        assert ranking.select(min_spread=4.0) == ["a", "b"]
+        assert ranking.select(min_spread=1000.0) == []
+
+    def test_explicit_candidates(self, toy_query):
+        ranking = rank_epps(toy_query, candidates=["j1"])
+        assert [n for n, _s in ranking.scores] == ["j1"]
+
+    def test_big_fact_join_dominates(self):
+        """Joins touching the fact table move orders of magnitude more
+        cost than dimension-to-dimension joins."""
+        ranking = rank_epps(workload("3D_Q15"))
+        assert ranking.scores[0][0] in ("cs_c", "cs_d")
+
+
+class TestDeclareEpps:
+    def test_top_k(self, toy_query):
+        auto = declare_epps(toy_query, k=2)
+        assert auto.dimensions == 2
+        assert auto.name.startswith("2D_")
+        assert auto.name.endswith("_auto")
+
+    def test_threshold_fallback_to_one(self, toy_query):
+        auto = declare_epps(toy_query, min_spread=1e12)
+        assert auto.dimensions == 1
+
+    def test_strips_existing_prefix(self):
+        auto = declare_epps(workload("3D_Q15"), k=2)
+        assert auto.name == "2D_Q15_auto"
+
+    def test_original_untouched(self, toy_query):
+        before = toy_query.epps
+        declare_epps(toy_query, k=1)
+        assert toy_query.epps == before
+
+
+class TestEndToEnd:
+    def test_auto_query_runs_spillbound(self, toy_query):
+        """An automatically declared epp set feeds straight into the
+        discovery pipeline."""
+        from repro.algorithms.spillbound import SpillBound
+        from repro.ess.contours import ContourSet
+        from repro.ess.space import ExplorationSpace
+        auto = declare_epps(toy_query, k=2)
+        space = ExplorationSpace(auto, resolution=8, s_min=1e-5)
+        space.build(mode="fast", rng=0)
+        sb = SpillBound(space, ContourSet(space))
+        qa = tuple(r // 2 for r in space.grid.shape)
+        result = sb.run(qa)
+        assert result.sub_optimality <= sb.mso_guarantee() + 1e-6

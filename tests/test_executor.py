@@ -1,0 +1,210 @@
+"""Tests for the row-level iterator executor against numpy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import generate_database
+from repro.catalog.schema import Catalog, Column, Table
+from repro.common.errors import ExecutionError
+from repro.executor.runtime import CostMeter, RowEngine
+from repro.common.errors import BudgetExhaustedError
+from repro.plans.nodes import (
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    finalize_plan,
+)
+from repro.query.query import Query, make_filter, make_join
+
+
+@pytest.fixture(scope="module")
+def exec_catalog():
+    return Catalog("exec", [
+        Table("orders", 400, [
+            Column("o_id", 400),
+            Column("o_cust", 40),
+            Column("o_total", 50, lo=0, hi=50),
+        ]),
+        Table("cust", 60, [
+            Column("c_id", 40),
+            Column("c_region", 5, lo=0, hi=5),
+        ]),
+        Table("region", 10, [
+            Column("r_id", 5),
+            Column("r_attr", 3, lo=0, hi=3),
+        ]),
+    ])
+
+
+@pytest.fixture(scope="module")
+def exec_query(exec_catalog):
+    return Query(
+        "exec_q", exec_catalog,
+        ["orders", "cust", "region"],
+        [
+            make_join("oc", "orders.o_cust", "cust.c_id"),
+            make_join("cr", "cust.c_region", "region.r_id"),
+        ],
+        [make_filter("cheap", "orders.o_total", "<", 25)],
+        epps=("oc", "cr"),
+    )
+
+
+@pytest.fixture(scope="module")
+def exec_db(exec_catalog):
+    return generate_database(exec_catalog, rng=5)
+
+
+def numpy_join_count(db):
+    """Ground-truth row count of the full query via numpy."""
+    orders = db["orders"]
+    cust = db["cust"]
+    region = db["region"]
+    mask = orders["o_total"] < 25
+    o_cust = orders["o_cust"][mask]
+    count = 0
+    for c_id, c_region in zip(cust["c_id"], cust["c_region"]):
+        order_matches = int(np.count_nonzero(o_cust == c_id))
+        region_matches = int(np.count_nonzero(region["r_id"] == c_region))
+        count += order_matches * region_matches
+    return count
+
+
+def plan_with(join_cls, exec_query):
+    plan = join_cls(
+        join_cls(
+            SeqScan("orders", ("cheap",)),
+            SeqScan("cust"),
+            ("oc",),
+        ),
+        SeqScan("region"),
+        ("cr",),
+    )
+    return finalize_plan(plan)
+
+
+class TestCostMeter:
+    def test_accumulates(self):
+        meter = CostMeter()
+        meter.charge(1.5)
+        meter.charge(2.5)
+        assert meter.spent == pytest.approx(4.0)
+
+    def test_budget_enforced(self):
+        meter = CostMeter(budget=1.0)
+        meter.charge(0.9)
+        with pytest.raises(BudgetExhaustedError):
+            meter.charge(0.2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("join_cls",
+                             [HashJoin, MergeJoin, NestedLoopJoin])
+    def test_matches_numpy_ground_truth(self, join_cls, exec_query,
+                                        exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(join_cls, exec_query)
+        result = engine.run(plan)
+        assert result.completed
+        assert result.row_count == numpy_join_count(exec_db)
+
+    def test_all_operators_agree(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        counts = {
+            cls.__name__: engine.run(plan_with(cls, exec_query)).row_count
+            for cls in (HashJoin, MergeJoin, NestedLoopJoin)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_rows_carry_all_columns(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        result = engine.run(plan, keep_rows=True)
+        if result.rows:
+            row = result.rows[0]
+            assert "orders.o_id" in row
+            assert "cust.c_region" in row
+            assert "region.r_attr" in row
+
+    def test_filter_applied(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = finalize_plan(SeqScan("orders", ("cheap",)))
+        result = engine.run(plan)
+        expected = int(np.count_nonzero(exec_db["orders"]["o_total"] < 25))
+        assert result.row_count == expected
+
+    def test_unknown_table_raises(self, exec_query):
+        engine = RowEngine({}, exec_query)
+        with pytest.raises(ExecutionError):
+            engine.run(finalize_plan(SeqScan("orders")))
+
+
+class TestBudgets:
+    def test_budget_abort_partial(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        full = engine.run(plan)
+        partial = engine.run(plan, budget=full.spent / 4)
+        assert not partial.completed
+        assert partial.spent <= full.spent / 4 + 1.0
+        assert partial.row_count <= full.row_count
+
+    def test_generous_budget_completes(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        full = engine.run(plan)
+        again = engine.run(plan, budget=full.spent * 1.01)
+        assert again.completed
+        assert again.spent == pytest.approx(full.spent)
+
+
+class TestSpilling:
+    def test_spill_truncates_plan(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        bottom_join = plan.left  # the oc join node
+        result = engine.run(plan, spill_node_id=bottom_join.node_id)
+        assert result.completed
+        # Spilled output = orders(filtered) x cust matches.
+        mask = exec_db["orders"]["o_total"] < 25
+        o_cust = exec_db["orders"]["o_cust"][mask]
+        expected = sum(
+            int(np.count_nonzero(o_cust == c))
+            for c in exec_db["cust"]["c_id"]
+        )
+        assert result.row_count == expected
+
+    def test_spill_cheaper_than_full(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        full = engine.run(plan)
+        spilled = engine.run(plan, spill_node_id=plan.left.node_id)
+        assert spilled.spent < full.spent
+
+    def test_monitor_selectivity_exact(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        node_id = plan.left.node_id
+        sel = engine.true_selectivity(plan, node_id)
+        mask = exec_db["orders"]["o_total"] < 25
+        o_cust = exec_db["orders"]["o_cust"][mask]
+        matches = sum(
+            int(np.count_nonzero(o_cust == c))
+            for c in exec_db["cust"]["c_id"]
+        )
+        expected = matches / (len(o_cust) * len(exec_db["cust"]["c_id"]))
+        assert sel == pytest.approx(expected)
+
+    def test_monitor_partial_lower_bound(self, exec_query, exec_db):
+        engine = RowEngine(exec_db, exec_query)
+        plan = plan_with(HashJoin, exec_query)
+        node_id = plan.left.node_id
+        full = engine.run(plan, spill_node_id=node_id)
+        partial = engine.run(plan, budget=full.spent / 3,
+                             spill_node_id=node_id)
+        if not partial.completed and node_id in partial.monitors:
+            monitor = partial.monitors[node_id]
+            truth = full.monitors[node_id]
+            bound = monitor.lower_bound(truth.left_rows, truth.right_rows)
+            assert bound <= truth.selectivity + 1e-12

@@ -1,0 +1,66 @@
+"""Tests for the random workload generator."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.harness.generator import SHAPES, random_catalog, random_query
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestRandomCatalog:
+    def test_structure(self):
+        catalog = random_catalog(0, 3)
+        assert "fact" in catalog
+        assert all("dim%d" % k in catalog for k in range(3))
+
+    def test_deterministic(self):
+        a = random_catalog(7, 2)
+        b = random_catalog(7, 2)
+        assert a.table("fact").row_count == b.table("fact").row_count
+
+    def test_dimension_tables_smaller_than_fact_range(self):
+        catalog = random_catalog(1, 4, dim_rows=(10, 100))
+        for k in range(4):
+            assert catalog.table("dim%d" % k).row_count <= 100
+
+
+class TestRandomQuery:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_shapes_validate(self, shape):
+        query = random_query(3, dims=3, shape=shape)
+        assert query.dimensions == 3
+        assert len(query.joins) == 3
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(QueryError):
+            random_query(0, shape="ring")
+
+    def test_chain_is_a_path(self):
+        query = random_query(1, dims=4, shape="chain")
+        # Each relation (except the ends) appears in exactly two joins.
+        counts = {}
+        for join in query.joins:
+            for table in join.tables:
+                counts[table] = counts.get(table, 0) + 1
+        assert sorted(counts.values()) == [1, 1, 2, 2, 2]
+
+    def test_star_centres_on_fact(self):
+        query = random_query(2, dims=4, shape="star")
+        for join in query.joins:
+            assert "fact" in join.tables
+
+    def test_epps_subset(self):
+        query = random_query(4, dims=3, shape="star", epps=("j0", "j2"))
+        assert query.dimensions == 2
+
+    def test_generated_instance_respects_guarantee(self):
+        """Random instances feed the full pipeline and obey the bound."""
+        from repro.algorithms.spillbound import SpillBound
+        query = random_query(11, dims=2, shape="star")
+        space = ExplorationSpace(query, resolution=8, s_min=1e-5)
+        space.build(mode="exact")
+        sb = SpillBound(space, ContourSet(space))
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= sb.mso_guarantee() + 1e-6

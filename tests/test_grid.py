@@ -1,0 +1,112 @@
+"""Tests for the selectivity grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.ess.grid import SelectivityGrid
+
+
+class TestConstruction:
+    def test_endpoints_exact(self):
+        grid = SelectivityGrid(2, 10, s_min=1e-6)
+        for d in range(2):
+            assert grid.values[d][0] == 1e-6
+            assert grid.values[d][-1] == 1.0
+
+    def test_log_spacing(self):
+        grid = SelectivityGrid(1, 7, s_min=1e-6)
+        ratios = grid.values[0][1:] / grid.values[0][:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_per_dimension_resolution(self):
+        grid = SelectivityGrid(3, [4, 5, 6])
+        assert grid.shape == (4, 5, 6)
+        assert grid.size == 120
+
+    def test_per_dimension_range(self):
+        grid = SelectivityGrid(2, 4, s_min=[1e-4, 1e-2])
+        assert grid.values[0][0] == 1e-4
+        assert grid.values[1][0] == 1e-2
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(QueryError):
+            SelectivityGrid(0, 4)
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(QueryError):
+            SelectivityGrid(2, 1)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(QueryError):
+            SelectivityGrid(1, 4, s_min=0.0)
+        with pytest.raises(QueryError):
+            SelectivityGrid(1, 4, s_min=0.5, s_max=0.1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(QueryError):
+            SelectivityGrid(2, [4, 5, 6])
+
+
+class TestCoordinates:
+    def test_origin_terminus(self):
+        grid = SelectivityGrid(3, 5)
+        assert grid.origin == (0, 0, 0)
+        assert grid.terminus == (4, 4, 4)
+
+    def test_location_values(self):
+        grid = SelectivityGrid(2, 5, s_min=1e-4)
+        loc = grid.location((0, 4))
+        assert loc[0] == pytest.approx(1e-4)
+        assert loc[1] == pytest.approx(1.0)
+
+    @given(st.integers(0, 5 * 7 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_flat_unflat_roundtrip(self, offset):
+        grid = SelectivityGrid(2, [5, 7])
+        assert grid.flat(grid.unflat(offset)) == offset
+
+    def test_indices_cover_grid(self):
+        grid = SelectivityGrid(2, 3)
+        assert len(list(grid.indices())) == 9
+
+    def test_meshes_shape_and_values(self):
+        grid = SelectivityGrid(2, [3, 4])
+        meshes = grid.meshes()
+        assert meshes[0].shape == (3, 4)
+        assert meshes[0][2, 0] == grid.values[0][2]
+        assert meshes[1][0, 3] == grid.values[1][3]
+
+
+class TestSnapping:
+    def test_snap_down_exact_hit(self):
+        grid = SelectivityGrid(1, 7, s_min=1e-6)
+        value = float(grid.values[0][3])
+        assert grid.snap_down(0, value) == 3
+
+    def test_snap_down_between(self):
+        grid = SelectivityGrid(1, 7, s_min=1e-6)
+        between = float(np.sqrt(grid.values[0][3] * grid.values[0][4]))
+        assert grid.snap_down(0, between) == 3
+
+    def test_snap_up_between(self):
+        grid = SelectivityGrid(1, 7, s_min=1e-6)
+        between = float(np.sqrt(grid.values[0][3] * grid.values[0][4]))
+        assert grid.snap_up(0, between) == 4
+
+    def test_snap_clamps(self):
+        grid = SelectivityGrid(1, 7, s_min=1e-6)
+        assert grid.snap_down(0, 1e-12) == 0
+        assert grid.snap_up(0, 2.0) == 6
+
+    @given(st.floats(1e-6, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_snap_bracket_property(self, sel):
+        grid = SelectivityGrid(1, 9, s_min=1e-6)
+        lo = grid.snap_down(0, sel)
+        hi = grid.snap_up(0, sel)
+        assert grid.values[0][lo] <= sel * (1 + 1e-12)
+        assert grid.values[0][hi] >= sel * (1 - 1e-12)
+        assert hi - lo in (0, 1)

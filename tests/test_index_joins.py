@@ -1,0 +1,196 @@
+"""Tests for indexed columns and index nested-loop joins."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import generate_database
+from repro.catalog.schema import Catalog, Column, Table
+from repro.cost.model import CostModel
+from repro.executor.runtime import RowEngine
+from repro.optimizer.dp import Optimizer
+from repro.plans.nodes import (
+    HashJoin,
+    IndexNLJoin,
+    SeqScan,
+    finalize_plan,
+)
+from repro.plans.pipelines import decompose_pipelines, spill_epp
+from repro.query.query import Query, make_filter, make_join
+
+
+@pytest.fixture(scope="module")
+def idx_catalog():
+    # The inner (dim) is large: hash-building it is expensive, which is
+    # exactly when per-outer-tuple index lookups pay off.
+    return Catalog("idx", [
+        Table("fact", 200_000, [
+            Column("f_id", 200_000),
+            Column("f_dim", 100_000),
+            Column("f_val", 100, lo=0, hi=100),
+        ]),
+        Table("dim", 1_000_000, [
+            Column("d_id", 1_000_000, indexed=True),
+            Column("d_attr", 40, lo=0, hi=40),
+        ]),
+    ])
+
+
+@pytest.fixture(scope="module")
+def idx_query(idx_catalog):
+    return Query(
+        "idxq", idx_catalog, ["fact", "dim"],
+        [make_join("j", "fact.f_dim", "dim.d_id")],
+        [make_filter("f", "fact.f_val", "<", 2),
+         make_filter("g", "dim.d_attr", "<", 20)],
+        epps=("j",),
+    )
+
+
+class TestNode:
+    def test_unary_structure(self):
+        node = IndexNLJoin(SeqScan("fact"), ("j",), "dim", "d_id", ("g",))
+        assert len(node.children) == 1
+        assert node.tables == frozenset(("fact", "dim"))
+        assert node.primary_predicate == "j"
+
+    def test_signature_includes_index_spec(self):
+        a = IndexNLJoin(SeqScan("fact"), ("j",), "dim", "d_id")
+        b = IndexNLJoin(SeqScan("fact"), ("j",), "dim", "other")
+        assert a.signature() != b.signature()
+
+    def test_finalize_copies(self):
+        plan = finalize_plan(
+            IndexNLJoin(SeqScan("fact"), ("j",), "dim", "d_id"))
+        assert [n.node_id for n in plan.walk()] == [0, 1]
+
+    def test_pipeline_is_streaming(self):
+        plan = finalize_plan(
+            IndexNLJoin(SeqScan("fact"), ("j",), "dim", "d_id"))
+        pipelines = decompose_pipelines(plan)
+        assert len(pipelines) == 1  # no build/inner pipeline at all
+
+    def test_spillable(self):
+        plan = finalize_plan(
+            IndexNLJoin(SeqScan("fact"), ("j",), "dim", "d_id"))
+        name, node = spill_epp(plan, {"j"})
+        assert name == "j"
+        assert isinstance(node, IndexNLJoin)
+
+
+class TestCosting:
+    def test_cost_positive_and_monotone(self, idx_query):
+        model = CostModel(idx_query)
+        plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact", ("f",)), ("j",), "dim", "d_id", ("g",)))
+        lo = model.cost(plan, {"j": 1e-6})
+        hi = model.cost(plan, {"j": 1e-2})
+        assert 0 < lo < hi
+
+    def test_no_inner_scan_cost(self, idx_query):
+        """At negligible selectivity the index join undercuts the hash
+        join by (at least) the build cost of the inner."""
+        model = CostModel(idx_query)
+        index_plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact", ("f",)), ("j",), "dim", "d_id", ("g",)))
+        hash_plan = finalize_plan(HashJoin(
+            SeqScan("fact", ("f",)), SeqScan("dim", ("g",)), ("j",)))
+        sel = {"j": 1e-9}
+        assert model.cost(index_plan, sel) < model.cost(hash_plan, sel)
+
+    def test_vectorised_matches_scalar(self, idx_query):
+        model = CostModel(idx_query)
+        plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact", ("f",)), ("j",), "dim", "d_id", ("g",)))
+        sels = np.geomspace(1e-6, 1, 5)
+        vector = model.cost(plan, {"j": sels})
+        for i, s in enumerate(sels):
+            assert vector[i] == pytest.approx(
+                model.cost(plan, {"j": float(s)}))
+
+
+class TestOptimizerIntegration:
+    def test_chosen_for_selective_outer(self, idx_query):
+        result = Optimizer(idx_query).optimize({"j": 1e-7})
+        kinds = {type(n).__name__ for n in result.plan.walk()}
+        assert "IndexNLJoin" in kinds
+
+    def test_not_chosen_for_huge_outer(self, idx_catalog):
+        # Without the outer filter and at a fat selectivity, per-tuple
+        # lookups plus massive fetches lose to a single hash build.
+        query = Query(
+            "idxq2", idx_catalog, ["fact", "dim"],
+            [make_join("j", "fact.f_dim", "dim.d_id")],
+            epps=("j",),
+        )
+        result = Optimizer(query).optimize({"j": 0.5})
+        kinds = {type(n).__name__ for n in result.plan.walk()}
+        assert "IndexNLJoin" not in kinds
+
+    def test_unindexed_column_never_index_joined(self, idx_catalog):
+        # Swap the join direction: fact.f_dim is not indexed.
+        query = Query(
+            "idxq3", idx_catalog, ["fact", "dim"],
+            [make_join("j", "dim.d_id", "fact.f_dim")],
+            [make_filter("g", "dim.d_attr", "<", 1)],
+            epps=("j",),
+        )
+        result = Optimizer(query).optimize({"j": 1e-9})
+        for node in result.plan.walk():
+            if isinstance(node, IndexNLJoin):
+                assert node.inner_table == "dim"
+
+
+class TestRowExecution:
+    def test_matches_hash_join(self, idx_query):
+        catalog = idx_query.catalog.scaled(0.01, name="small")
+        query = Query(
+            "small_q", catalog, ["fact", "dim"],
+            [make_join("j", "fact.f_dim", "dim.d_id")],
+            [make_filter("f", "fact.f_val", "<", 50),
+             make_filter("g", "dim.d_attr", "<", 20)],
+            epps=("j",),
+        )
+        database = generate_database(catalog, rng=4)
+        engine = RowEngine(database, query)
+        index_plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact", ("f",)), ("j",), "dim", "d_id", ("g",)))
+        hash_plan = finalize_plan(HashJoin(
+            SeqScan("fact", ("f",)), SeqScan("dim", ("g",)), ("j",)))
+        assert engine.run(index_plan).row_count == \
+            engine.run(hash_plan).row_count
+
+    def test_monitor_reports_primary_selectivity(self, idx_query):
+        catalog = idx_query.catalog.scaled(0.01, name="small2")
+        query = Query(
+            "small_q2", catalog, ["fact", "dim"],
+            [make_join("j", "fact.f_dim", "dim.d_id")],
+            [make_filter("g", "dim.d_attr", "<", 20)],
+            epps=("j",),
+        )
+        database = generate_database(catalog, rng=4)
+        engine = RowEngine(database, query)
+        # Filtered index join vs unfiltered: the monitored selectivity
+        # must be the join predicate's own, independent of the filter.
+        filtered = finalize_plan(IndexNLJoin(
+            SeqScan("fact"), ("j",), "dim", "d_id", ("g",)))
+        plain = finalize_plan(IndexNLJoin(
+            SeqScan("fact"), ("j",), "dim", "d_id"))
+        sel_filtered = engine.true_selectivity(filtered, 1)
+        sel_plain = engine.true_selectivity(plain, 1)
+        assert sel_filtered == pytest.approx(sel_plain)
+
+    def test_budget_abort(self, idx_query):
+        catalog = idx_query.catalog.scaled(0.01, name="small3")
+        query = Query(
+            "small_q3", catalog, ["fact", "dim"],
+            [make_join("j", "fact.f_dim", "dim.d_id")],
+            epps=("j",),
+        )
+        database = generate_database(catalog, rng=4)
+        engine = RowEngine(database, query)
+        plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact"), ("j",), "dim", "d_id"))
+        full = engine.run(plan)
+        partial = engine.run(plan, budget=full.spent / 3)
+        assert not partial.completed
+        assert partial.row_count < full.row_count

@@ -1,0 +1,122 @@
+"""End-to-end integration flows across the whole public surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.metrics.analysis import RunBreakdown
+
+
+class TestSqlToRobustFlow:
+    """SQL text -> epp identification -> space -> discovery -> figures."""
+
+    @pytest.fixture(scope="class")
+    def flow(self, tmp_path_factory):
+        catalog = repro.tpcds_catalog()
+        query = repro.parse_query(
+            """
+            SELECT * FROM catalog_returns cr, date_dim d, customer c
+            WHERE cr.cr_returned_date_sk = d.d_date_sk
+              AND cr.cr_returning_customer_sk = c.c_customer_sk
+              AND d.d_year = 1998
+            """,
+            catalog, name="flow_q", epps="none",
+        )
+        robust = repro.declare_epps(query, k=2)
+        space = repro.ExplorationSpace(robust, resolution=10)
+        space.build(mode="fast", rng=0)
+        return robust, space
+
+    def test_epps_declared(self, flow):
+        robust, _space = flow
+        assert robust.dimensions == 2
+
+    def test_guarantee_by_inspection(self, flow):
+        robust, _space = flow
+        assert repro.spillbound_guarantee(robust.dimensions) == 10.0
+
+    def test_all_algorithms_run(self, flow):
+        _robust, space = flow
+        contours = repro.ContourSet(space)
+        qa = (7, 4)
+        for cls in (repro.PlanBouquet, repro.SpillBound,
+                    repro.AlignedBound):
+            result = cls(space, contours).run(qa)
+            assert result.executions[-1].completed
+            assert result.sub_optimality >= 1.0 - 1e-9
+
+    def test_breakdown_accounts_everything(self, flow):
+        _robust, space = flow
+        sb = repro.SpillBound(space, repro.ContourSet(space))
+        result = sb.run((8, 8))
+        assert RunBreakdown(result).total == pytest.approx(
+            result.total_cost)
+
+    def test_persist_and_resume(self, flow, tmp_path):
+        robust, space = flow
+        path = str(tmp_path / "flow.npz")
+        repro.save_space(space, path)
+        loaded = repro.load_space(robust, path)
+        sb_a = repro.SpillBound(space, repro.ContourSet(space))
+        sb_b = repro.SpillBound(loaded, repro.ContourSet(loaded))
+        assert sb_a.run((5, 5)).total_cost == pytest.approx(
+            sb_b.run((5, 5)).total_cost)
+
+    def test_figures_render(self, flow):
+        _robust, space = flow
+        contours = repro.ContourSet(space)
+        from repro.viz import render_trace_svg
+        result = repro.SpillBound(space, contours).run((7, 7))
+        document = render_trace_svg(space, contours, result)
+        assert document.startswith("<svg")
+
+
+class TestDataDrivenFlow:
+    """Generated data -> measured truth -> row-backed discovery."""
+
+    def test_vector_and_row_backends_agree_on_truth(self):
+        query = repro.random_query(21, dims=2, shape="star")
+        # Shrink for the executors.
+        catalog = query.catalog.scaled(0.02, name="mini")
+        mini = repro.Query(
+            "mini_flow", catalog, query.tables, query.joins,
+            query.filters, query.epps,
+        )
+        database = repro.generate_database(catalog, rng=5)
+        space = repro.ExplorationSpace(mini, resolution=10, s_min=1e-5)
+        space.build(mode="fast", rng=0)
+        from repro.executor.vectorized import VectorEngine
+        row_engine = repro.RowBackedEngine(space, database)
+        vec_engine = repro.RowBackedEngine(
+            space, database, executor_cls=VectorEngine)
+        assert row_engine.qa_index == vec_engine.qa_index
+
+    def test_discovery_on_vector_backend(self):
+        query = repro.random_query(22, dims=2, shape="chain")
+        catalog = query.catalog.scaled(0.02, name="mini2")
+        mini = repro.Query(
+            "mini_flow2", catalog, query.tables, query.joins,
+            query.filters, query.epps,
+        )
+        database = repro.generate_database(catalog, rng=6)
+        space = repro.ExplorationSpace(mini, resolution=10, s_min=1e-5)
+        space.build(mode="fast", rng=0)
+        from repro.executor.vectorized import VectorEngine
+        engine = repro.RowBackedEngine(
+            space, database, delta=1.0, executor_cls=VectorEngine)
+        sb = repro.SpillBound(space, repro.ContourSet(space))
+        result = sb.run(engine.qa_index, engine=engine)
+        assert result.executions[-1].completed
+
+
+class TestNoisyFlow:
+    def test_noise_sweep_within_inflated_bound(self, q91_2d_space,
+                                               q91_2d_contours):
+        sb = repro.SpillBound(q91_2d_space, q91_2d_contours)
+        sweep = repro.exhaustive_sweep(
+            sb, sample=60, rng=4,
+            engine_factory=lambda qa: repro.NoisyEngine(
+                q91_2d_space, qa, delta=0.3, seed=2),
+        )
+        assert sweep.mso <= repro.inflated_guarantee(
+            sb.mso_guarantee(), 0.3) + 1e-6

@@ -1,0 +1,67 @@
+"""Tests for the MSO/ASO sweep machinery and histograms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.oracle import Oracle
+from repro.algorithms.spillbound import SpillBound
+from repro.metrics.distribution import suboptimality_histogram
+from repro.metrics.mso import SweepResult, exhaustive_sweep
+
+
+class TestSweep:
+    def test_oracle_sweep_is_unity(self, toy_space):
+        sweep = exhaustive_sweep(Oracle(toy_space))
+        assert sweep.mso == pytest.approx(1.0)
+        assert sweep.aso == pytest.approx(1.0)
+
+    def test_mso_at_least_aso(self, toy_space, toy_contours):
+        sweep = exhaustive_sweep(SpillBound(toy_space, toy_contours))
+        assert sweep.mso >= sweep.aso >= 1.0
+
+    def test_shape_matches_grid(self, toy_space, toy_contours):
+        sweep = exhaustive_sweep(SpillBound(toy_space, toy_contours))
+        assert sweep.sub_optimalities.shape == toy_space.grid.shape
+
+    def test_worst_location_attains_mso(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        sweep = exhaustive_sweep(sb)
+        worst = sweep.worst_location()
+        assert sb.run(worst).sub_optimality == pytest.approx(sweep.mso)
+
+    def test_sampled_sweep_subset(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        sampled = exhaustive_sweep(sb, sample=32, rng=0)
+        full = exhaustive_sweep(sb)
+        assert sampled.sub_optimalities.shape == (32,)
+        assert sampled.mso <= full.mso + 1e-9
+
+    def test_progress_callback(self, toy_space, toy_contours):
+        calls = []
+        exhaustive_sweep(
+            SpillBound(toy_space, toy_contours),
+            sample=8, rng=1,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1] == (8, 8)
+
+    def test_fraction_below(self):
+        sweep = SweepResult("x", np.array([1.0, 2.0, 6.0, 20.0]), (4,))
+        assert sweep.fraction_below(5.0) == pytest.approx(0.5)
+        assert sweep.fraction_below(100.0) == pytest.approx(1.0)
+
+
+class TestHistogram:
+    def test_percentages_total_100(self, toy_space, toy_contours):
+        sweep = exhaustive_sweep(SpillBound(toy_space, toy_contours))
+        rows = suboptimality_histogram(sweep)
+        assert sum(share for _label, share in rows) == pytest.approx(100.0)
+
+    def test_bin_labels(self):
+        sweep = SweepResult("x", np.array([1.0, 7.0, 100.0]), (3,))
+        rows = suboptimality_histogram(sweep, bin_width=5.0, max_bins=3)
+        labels = [label for label, _ in rows]
+        assert labels == ["0-5", "5-10", ">=10"]
+        shares = dict(rows)
+        assert shares["0-5"] == pytest.approx(100 / 3)
+        assert shares[">=10"] == pytest.approx(100 / 3)

@@ -1,0 +1,73 @@
+"""Tests for bounded cost-model error (§7's (1+delta)^2 inflation)."""
+
+import pytest
+
+from repro.algorithms.spillbound import SpillBound
+from repro.engine.noisy import NoisyEngine, inflated_guarantee
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestNoiseModel:
+    def test_factors_bounded(self, toy_space):
+        engine = NoisyEngine(toy_space, (3, 3), delta=0.4, seed=7)
+        for plan in toy_space.plans:
+            factor = engine._noise(plan.id)
+            assert 1 / 1.4 - 1e-9 <= factor <= 1.4 + 1e-9
+
+    def test_factors_deterministic(self, toy_space):
+        a = NoisyEngine(toy_space, (3, 3), delta=0.4, seed=7)
+        b = NoisyEngine(toy_space, (5, 5), delta=0.4, seed=7)
+        for plan in toy_space.plans:
+            assert a._noise(plan.id) == b._noise(plan.id)
+
+    def test_zero_delta_matches_clean_engine(self, toy_space):
+        from repro.engine.simulated import SimulatedEngine
+        noisy = NoisyEngine(toy_space, (6, 6), delta=0.0)
+        clean = SimulatedEngine(toy_space, (6, 6))
+        plan = toy_space.optimal_plan((6, 6))
+        assert noisy.true_cost(plan) == pytest.approx(
+            clean.true_cost(plan))
+        assert noisy.optimal_cost == pytest.approx(clean.optimal_cost)
+
+    def test_rejects_negative_delta(self, toy_space):
+        with pytest.raises(ValueError):
+            NoisyEngine(toy_space, (0, 0), delta=-0.1)
+
+    def test_oracle_cost_at_most_model_plan(self, toy_space):
+        """The noisy oracle may beat the model-optimal plan (noise can
+        reshuffle optimality) but never exceeds its noisy cost."""
+        engine = NoisyEngine(toy_space, (9, 9), delta=0.5, seed=1)
+        model_plan = toy_space.optimal_plan((9, 9))
+        assert engine.optimal_cost <= engine.true_cost(model_plan) + 1e-9
+
+
+class TestInflatedGuarantee:
+    def test_formula(self):
+        assert inflated_guarantee(10.0, 0.3) == pytest.approx(16.9)
+        assert inflated_guarantee(10.0, 0.0) == 10.0
+
+
+class TestGuaranteeUnderNoise:
+    @pytest.mark.parametrize("delta", [0.1, 0.3])
+    def test_spillbound_within_inflated_bound(self, toy_space,
+                                              toy_contours, delta):
+        """The §7 claim, verified exhaustively: under delta-bounded cost
+        error, SpillBound's MSO stays within (D^2+3D)(1+delta)^2."""
+        sb = SpillBound(toy_space, toy_contours)
+        sweep = exhaustive_sweep(
+            sb,
+            engine_factory=lambda qa: NoisyEngine(
+                toy_space, qa, delta=delta, seed=13),
+        )
+        assert sweep.mso <= inflated_guarantee(
+            sb.mso_guarantee(), delta) + 1e-6
+
+    def test_noise_changes_outcomes(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        clean = exhaustive_sweep(sb)
+        noisy = exhaustive_sweep(
+            sb,
+            engine_factory=lambda qa: NoisyEngine(
+                toy_space, qa, delta=0.3, seed=13),
+        )
+        assert noisy.mso != pytest.approx(clean.mso)

@@ -1,0 +1,167 @@
+"""Tests for the DP optimizer: optimality, determinism, constraints."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.common.errors import OptimizerError
+from repro.cost.model import CostModel
+from repro.optimizer.dp import JOIN_KINDS, Optimizer
+from repro.plans.nodes import SeqScan, finalize_plan
+from repro.plans.pipelines import spill_epp
+from repro.query.query import Query, make_join
+
+
+def brute_force_left_deep_cost(query, model, assignment):
+    """Minimum cost over all left-deep join orders and operator choices."""
+    tables = list(query.tables)
+    best = None
+    for order in permutations(tables):
+        plan = _cheapest_for_order(query, model, assignment, order)
+        if plan is None:
+            continue
+        cost = model.cost(plan, assignment)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def _cheapest_for_order(query, model, assignment, order):
+    current = SeqScan(
+        order[0], tuple(f.name for f in query.filters_for(order[0]))
+    )
+    joined = {order[0]}
+    for table in order[1:]:
+        predicates = query.join_for_tables(joined, {table})
+        if not predicates:
+            return None  # would need a cross product
+        names = tuple(p.name for p in predicates)
+        scan = SeqScan(
+            table, tuple(f.name for f in query.filters_for(table))
+        )
+        best = None
+        for kind in JOIN_KINDS:
+            candidate = finalize_plan(kind(current, scan, names))
+            cost = model.cost(candidate, assignment)
+            if best is None or cost < best[0]:
+                best = (cost, kind)
+        current = best[1](current, scan, names)
+        joined.add(table)
+    return finalize_plan(current)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("sels", [
+        {"j1": 1e-5, "j2": 1e-5},
+        {"j1": 1e-2, "j2": 1e-5},
+        {"j1": 1e-5, "j2": 1e-2},
+        {"j1": 0.5, "j2": 0.5},
+        {"j1": 1.0, "j2": 1e-6},
+    ])
+    def test_matches_brute_force(self, toy_query, sels):
+        model = CostModel(toy_query)
+        optimizer = Optimizer(toy_query, model)
+        result = optimizer.optimize(sels)
+        brute = brute_force_left_deep_cost(toy_query, model, sels)
+        assert result.cost == pytest.approx(brute, rel=1e-9)
+
+    def test_greedy_per_prefix_is_not_assumed(self, toy_query):
+        # The DP cost must never exceed any single hand-built order.
+        model = CostModel(toy_query)
+        optimizer = Optimizer(toy_query, model)
+        sels = {"j1": 1e-3, "j2": 1e-4}
+        result = optimizer.optimize(sels)
+        hand = _cheapest_for_order(
+            toy_query, model, sels, ("fact", "dim1", "dim2", "dim3"))
+        assert result.cost <= model.cost(hand, sels) * (1 + 1e-12)
+
+    def test_reported_cost_matches_plan_cost(self, toy_query):
+        model = CostModel(toy_query)
+        result = Optimizer(toy_query, model).optimize(
+            {"j1": 1e-4, "j2": 1e-3})
+        assert result.cost == pytest.approx(
+            model.cost(result.plan, {"j1": 1e-4, "j2": 1e-3}), rel=1e-9)
+
+    def test_bushy_never_worse(self, toy_query):
+        model = CostModel(toy_query)
+        sels = {"j1": 1e-3, "j2": 1e-3}
+        left_deep = Optimizer(toy_query, model).optimize(sels)
+        bushy = Optimizer(toy_query, model, bushy=True).optimize(sels)
+        assert bushy.cost <= left_deep.cost * (1 + 1e-12)
+
+
+class TestDeterminism:
+    def test_repeated_calls_identical(self, toy_query):
+        optimizer = Optimizer(toy_query)
+        sels = {"j1": 1e-4, "j2": 1e-4}
+        a = optimizer.optimize(sels)
+        b = optimizer.optimize(sels)
+        assert a.plan.signature() == b.plan.signature()
+        assert a.cost == b.cost
+
+
+class TestStructure:
+    def test_no_cross_products(self, toy_query):
+        result = Optimizer(toy_query).optimize({"j1": 1e-4, "j2": 1e-4})
+        for node in result.plan.walk():
+            if hasattr(node, "predicate_names"):
+                assert node.predicate_names
+
+    def test_filters_pushed_to_scans(self, toy_query):
+        result = Optimizer(toy_query).optimize({"j1": 1e-4, "j2": 1e-4})
+        scans = [n for n in result.plan.walk() if isinstance(n, SeqScan)]
+        fact_scan = next(s for s in scans if s.table == "fact")
+        assert fact_scan.filter_names == ("f1",)
+
+    def test_all_tables_present(self, toy_query):
+        result = Optimizer(toy_query).optimize({"j1": 1e-4, "j2": 1e-4})
+        assert result.plan.tables == frozenset(toy_query.tables)
+
+    def test_single_table_query(self, toy_catalog):
+        query = Query("single", toy_catalog, ["dim1"], [], [], ())
+        result = Optimizer(query).optimize({})
+        assert isinstance(result.plan, SeqScan)
+
+
+class TestConstrainedOptimization:
+    @pytest.mark.parametrize("epp", ["j1", "j2"])
+    def test_spills_on_requested_epp(self, toy_query, epp):
+        optimizer = Optimizer(toy_query)
+        result = optimizer.optimize_spilling_on(
+            epp, {"j1": 1e-4, "j2": 1e-4})
+        choice = spill_epp(result.plan, set(toy_query.epps))
+        assert choice is not None
+        assert choice[0] == epp
+
+    def test_constrained_never_cheaper_than_free(self, toy_query):
+        optimizer = Optimizer(toy_query)
+        sels = {"j1": 1e-4, "j2": 1e-3}
+        free = optimizer.optimize(sels)
+        for epp in toy_query.epps:
+            constrained = optimizer.optimize_spilling_on(epp, sels)
+            assert constrained.cost >= free.cost * (1 - 1e-12)
+
+    def test_unsatisfiable_returns_none(self, toy_catalog):
+        # j2 connects dim2/dim3; forcing it first disconnects fact/dim1
+        # unless a cross-free join path exists -- here it does not when
+        # the query has only two relations and the epp is elsewhere.
+        query = Query(
+            "pair", toy_catalog, ["fact", "dim1"],
+            [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+            epps=("j1",),
+        )
+        result = Optimizer(query).optimize_spilling_on("j1", {"j1": 1e-4})
+        assert result is not None  # satisfiable here
+
+    def test_errors_without_any_plan(self, toy_catalog):
+        query = Query(
+            "pair", toy_catalog, ["fact", "dim1"],
+            [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+            epps=("j1",),
+        )
+        optimizer = Optimizer(query)
+        # Sanity: the normal path works; OptimizerError is reserved for
+        # genuinely impossible enumerations.
+        assert optimizer.optimize({"j1": 0.5}).cost > 0
+        with pytest.raises(OptimizerError):
+            optimizer._result(None)

@@ -1,0 +1,33 @@
+"""Tests for parallel exact space construction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DiscoveryError
+from repro.ess.parallel import parallel_exact_build
+from repro.ess.space import ExplorationSpace
+
+
+class TestParallelBuild:
+    def test_identical_to_serial(self, toy_query):
+        serial = ExplorationSpace(toy_query, resolution=10, s_min=1e-5)
+        serial.build(mode="exact")
+        parallel = parallel_exact_build(
+            ExplorationSpace(toy_query, resolution=10, s_min=1e-5),
+            workers=2, chunk_size=16,
+        )
+        assert np.array_equal(parallel.plan_at, serial.plan_at)
+        assert np.allclose(parallel.opt_cost, serial.opt_cost)
+        signatures = lambda s: {i.tree.signature() for i in s.plans}
+        assert signatures(parallel) == signatures(serial)
+
+    def test_single_worker_falls_back(self, toy_query):
+        space = parallel_exact_build(
+            ExplorationSpace(toy_query, resolution=6, s_min=1e-5),
+            workers=1,
+        )
+        assert space.built
+
+    def test_rejects_built_space(self, toy_space):
+        with pytest.raises(DiscoveryError):
+            parallel_exact_build(toy_space, workers=2)

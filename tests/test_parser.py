@@ -1,0 +1,152 @@
+"""Tests for the SPJ SQL parser."""
+
+import pytest
+
+from repro.catalog.tpcds import tpcds_catalog
+from repro.common.errors import QueryError
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcds_catalog()
+
+
+BASIC = """
+SELECT * FROM catalog_sales cs, date_dim d, customer c
+WHERE cs.cs_sold_date_sk = d.d_date_sk
+  AND cs.cs_bill_customer_sk = c.c_customer_sk
+  AND d.d_year = 2000
+"""
+
+
+class TestBasics:
+    def test_tables_resolved(self, catalog):
+        query = parse_query(BASIC, catalog)
+        assert set(query.tables) == {"catalog_sales", "date_dim",
+                                     "customer"}
+
+    def test_joins_named_by_alias_pair(self, catalog):
+        query = parse_query(BASIC, catalog)
+        assert {j.name for j in query.joins} == {"cs_d", "cs_c"}
+
+    def test_join_sides_qualified(self, catalog):
+        query = parse_query(BASIC, catalog)
+        join = query.predicate("cs_d")
+        assert join.left == "catalog_sales.cs_sold_date_sk"
+        assert join.right == "date_dim.d_date_sk"
+
+    def test_filters_parsed(self, catalog):
+        query = parse_query(BASIC, catalog)
+        filt = query.predicate("f_d_year")
+        assert filt.op == "="
+        assert filt.constant == 2000
+
+    def test_all_joins_epps_by_default(self, catalog):
+        query = parse_query(BASIC, catalog)
+        assert query.dimensions == 2
+
+    def test_explicit_epps(self, catalog):
+        query = parse_query(BASIC, catalog, epps=("cs_d",))
+        assert query.epps == ("cs_d",)
+
+    def test_no_epps(self, catalog):
+        query = parse_query(BASIC, catalog, epps="none")
+        assert query.dimensions == 0
+
+    def test_trailing_semicolon(self, catalog):
+        query = parse_query(BASIC.strip() + ";", catalog)
+        assert len(query.joins) == 2
+
+
+class TestJoinSyntax:
+    def test_inner_join_on(self, catalog):
+        sql = """
+        SELECT * FROM catalog_sales cs
+        JOIN date_dim d ON cs.cs_sold_date_sk = d.d_date_sk
+        WHERE d.d_moy <= 6
+        """
+        query = parse_query(sql, catalog)
+        assert {j.name for j in query.joins} == {"cs_d"}
+        assert query.predicate("f_d_moy").op == "<="
+
+    def test_as_alias(self, catalog):
+        sql = ("SELECT * FROM date_dim AS dd, catalog_sales AS s "
+               "WHERE s.cs_sold_date_sk = dd.d_date_sk")
+        query = parse_query(sql, catalog)
+        assert "date_dim" in query.tables
+
+    def test_no_alias(self, catalog):
+        sql = ("SELECT * FROM date_dim, catalog_sales WHERE "
+               "catalog_sales.cs_sold_date_sk = date_dim.d_date_sk")
+        query = parse_query(sql, catalog)
+        assert len(query.joins) == 1
+
+
+class TestFilters:
+    def test_reversed_constant_side(self, catalog):
+        sql = ("SELECT * FROM date_dim d, catalog_sales s "
+               "WHERE s.cs_sold_date_sk = d.d_date_sk AND 6 >= d.d_moy")
+        query = parse_query(sql, catalog)
+        filt = next(iter(query.filters))
+        assert filt.op == "<="
+        assert filt.constant == 6
+
+    def test_duplicate_filter_names_disambiguated(self, catalog):
+        sql = ("SELECT * FROM date_dim d, catalog_sales s "
+               "WHERE s.cs_sold_date_sk = d.d_date_sk "
+               "AND d.d_year > 1998 AND d.d_year < 2002")
+        query = parse_query(sql, catalog)
+        names = {f.name for f in query.filters}
+        assert names == {"f_d_year", "f_d_year2"}
+
+
+class TestErrors:
+    def test_not_a_select(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("DELETE FROM date_dim", catalog)
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(QueryError, match="alias"):
+            parse_query(
+                "SELECT * FROM date_dim d WHERE x.d_year = 2000",
+                catalog)
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(QueryError, match="alias"):
+            parse_query(
+                "SELECT * FROM date_dim d, customer d "
+                "WHERE d.d_year = 2000", catalog)
+
+    def test_non_equi_join_rejected(self, catalog):
+        with pytest.raises(QueryError, match="equi-join"):
+            parse_query(
+                "SELECT * FROM date_dim d, catalog_sales s "
+                "WHERE s.cs_sold_date_sk < d.d_date_sk", catalog)
+
+    def test_non_numeric_constant_rejected(self, catalog):
+        with pytest.raises(QueryError, match="numeric"):
+            parse_query(
+                "SELECT * FROM date_dim d WHERE d.d_year = banana",
+                catalog)
+
+    def test_join_without_on(self, catalog):
+        with pytest.raises(QueryError, match="ON"):
+            parse_query(
+                "SELECT * FROM date_dim d JOIN customer c", catalog)
+
+    def test_disconnected_graph_caught_by_query(self, catalog):
+        with pytest.raises(QueryError, match="disconnected"):
+            parse_query(
+                "SELECT * FROM date_dim d, customer c "
+                "WHERE d.d_year = 2000", catalog)
+
+
+class TestEndToEnd:
+    def test_parsed_query_optimises(self, catalog):
+        from repro.optimizer.dp import Optimizer
+        query = parse_query(BASIC, catalog, name="parsed_q")
+        result = Optimizer(query).optimize(
+            {"cs_d": 1e-4, "cs_c": 1e-5})
+        assert result.cost > 0
+        assert result.plan.tables == frozenset(query.tables)

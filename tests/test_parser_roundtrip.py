@@ -1,0 +1,70 @@
+"""Property test: generated queries survive an SQL round-trip.
+
+Random workloads are rendered to SQL text, parsed back, and must
+produce the same join graph, filters and (join-)epp structure --
+exercising the generator and the parser against each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.generator import SHAPES, random_query
+from repro.query.parser import parse_query
+
+
+def query_to_sql(query):
+    """Render a library query back to the parser's SQL dialect."""
+    from_clause = ", ".join(query.tables)
+    conditions = []
+    for join in query.joins:
+        conditions.append("%s = %s" % (join.left, join.right))
+    for filt in query.filters:
+        conditions.append("%s %s %s" % (filt.column, filt.op,
+                                        filt.constant))
+    sql = "SELECT * FROM " + from_clause
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    dims=st.integers(2, 5),
+    shape=st.sampled_from(SHAPES),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_structure(seed, dims, shape):
+    original = random_query(seed, dims=dims, shape=shape)
+    sql = query_to_sql(original)
+    parsed = parse_query(sql, original.catalog, name="roundtrip")
+
+    assert set(parsed.tables) == set(original.tables)
+    assert len(parsed.joins) == len(original.joins)
+    original_edges = {
+        frozenset((j.left, j.right)) for j in original.joins
+    }
+    parsed_edges = {
+        frozenset((j.left, j.right)) for j in parsed.joins
+    }
+    assert parsed_edges == original_edges
+    # Every join is an epp by default, matching `epps="all"`.
+    assert parsed.dimensions == original.dimensions
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_optimises_identically(seed):
+    """The parsed clone must admit the same optimal cost (the optimizer
+    only sees structure, which the round trip preserves)."""
+    from repro.cost.model import CostModel
+    from repro.optimizer.dp import Optimizer
+
+    original = random_query(seed, dims=2, shape="star")
+    parsed = parse_query(query_to_sql(original), original.catalog)
+    sels_original = {name: 1e-4 for name in original.epps}
+    sels_parsed = {name: 1e-4 for name in parsed.epps}
+    cost_original = Optimizer(
+        original, CostModel(original)).optimize(sels_original).cost
+    cost_parsed = Optimizer(
+        parsed, CostModel(parsed)).optimize(sels_parsed).cost
+    assert abs(cost_original - cost_parsed) <= 1e-6 * cost_original

@@ -1,0 +1,74 @@
+"""Tests for exploration-space persistence (offline preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.spillbound import SpillBound
+from repro.common.errors import DiscoveryError
+from repro.ess.contours import ContourSet
+from repro.ess.persistence import (
+    load_space,
+    plan_from_dict,
+    plan_to_dict,
+    save_space,
+)
+from repro.ess.space import ExplorationSpace
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestPlanSerialisation:
+    def test_roundtrip_signature(self, toy_space):
+        for info in toy_space.plans:
+            data = plan_to_dict(info.tree)
+            restored = plan_from_dict(data)
+            assert restored.signature() == info.tree.signature()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DiscoveryError):
+            plan_from_dict({"kind": "QuantumJoin"})
+
+
+class TestSaveLoad:
+    def test_roundtrip_identical_surfaces(self, toy_space, toy_query,
+                                          tmp_path):
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        loaded = load_space(toy_query, path)
+        assert np.array_equal(loaded.plan_at, toy_space.plan_at)
+        assert np.allclose(loaded.opt_cost, toy_space.opt_cost)
+        assert len(loaded.plans) == len(toy_space.plans)
+        for a, b in zip(loaded.plans, toy_space.plans):
+            assert np.allclose(a.cost, b.cost)
+            assert a.tree.signature() == b.tree.signature()
+
+    def test_grid_values_exact(self, toy_space, toy_query, tmp_path):
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        loaded = load_space(toy_query, path)
+        for d in range(toy_space.grid.dims):
+            assert np.array_equal(
+                loaded.grid.values[d], toy_space.grid.values[d])
+
+    def test_loaded_space_runs_identically(self, toy_space, toy_query,
+                                           tmp_path):
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        loaded = load_space(toy_query, path)
+        original = exhaustive_sweep(
+            SpillBound(toy_space, ContourSet(toy_space)))
+        restored = exhaustive_sweep(
+            SpillBound(loaded, ContourSet(loaded)))
+        assert np.allclose(
+            original.sub_optimalities, restored.sub_optimalities)
+
+    def test_unbuilt_space_rejected(self, toy_query, tmp_path):
+        space = ExplorationSpace(toy_query, resolution=4, s_min=1e-5)
+        with pytest.raises(DiscoveryError):
+            save_space(space, str(tmp_path / "x.npz"))
+
+    def test_fingerprint_mismatch_rejected(self, toy_space, toy_query_3d,
+                                           tmp_path):
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        with pytest.raises(DiscoveryError, match="fingerprint"):
+            load_space(toy_query_3d, path)

@@ -1,0 +1,115 @@
+"""Tests for pipeline decomposition and spill-node identification (§3.1)."""
+
+from repro.plans.nodes import (
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    finalize_plan,
+)
+from repro.plans.pipelines import (
+    decompose_pipelines,
+    epp_total_order,
+    spill_epp,
+)
+
+
+def left_deep_hash(tables, predicates):
+    """Left-deep all-hash-join plan: ((t0 x t1) x t2) x ..."""
+    plan = SeqScan(tables[0])
+    for table, predicate in zip(tables[1:], predicates):
+        plan = HashJoin(plan, SeqScan(table), (predicate,))
+    return finalize_plan(plan)
+
+
+class TestDecomposition:
+    def test_hash_build_is_separate_pipeline(self):
+        plan = left_deep_hash(["a", "b"], ["j1"])
+        pipelines = decompose_pipelines(plan)
+        assert len(pipelines) == 2
+        # Build side (scan of b) runs first; probe pipeline holds the join.
+        assert pipelines[0].nodes[0].table == "b"
+        assert pipelines[1].nodes[0].table == "a"
+        assert pipelines[1].nodes[1].kind == "HashJoin"
+
+    def test_left_deep_chain_single_probe_pipeline(self):
+        plan = left_deep_hash(["a", "b", "c", "d"], ["j1", "j2", "j3"])
+        pipelines = decompose_pipelines(plan)
+        # 3 build pipelines + 1 probe pipeline containing all joins.
+        assert len(pipelines) == 4
+        probe = pipelines[-1]
+        assert [n.kind for n in probe.nodes] == \
+            ["SeqScan", "HashJoin", "HashJoin", "HashJoin"]
+
+    def test_merge_join_blocks_both_sides(self):
+        plan = finalize_plan(MergeJoin(SeqScan("a"), SeqScan("b"), ("j",)))
+        pipelines = decompose_pipelines(plan)
+        assert len(pipelines) == 3
+        assert pipelines[-1].nodes[0].kind == "MergeJoin"
+
+    def test_nl_join_materialises_inner_first(self):
+        plan = finalize_plan(
+            NestedLoopJoin(SeqScan("a"), SeqScan("b"), ("j",)))
+        pipelines = decompose_pipelines(plan)
+        assert len(pipelines) == 2
+        assert pipelines[0].nodes[0].table == "b"
+
+    def test_orders_assigned_sequentially(self):
+        plan = left_deep_hash(["a", "b", "c"], ["j1", "j2"])
+        pipelines = decompose_pipelines(plan)
+        assert [p.order for p in pipelines] == list(range(len(pipelines)))
+
+
+class TestEppTotalOrder:
+    def test_intra_pipeline_upstream_first(self):
+        # In a left-deep chain, the bottom join is most upstream.
+        plan = left_deep_hash(["a", "b", "c", "d"], ["j1", "j2", "j3"])
+        order = [name for name, _ in
+                 epp_total_order(plan, ["j1", "j2", "j3"])]
+        assert order == ["j1", "j2", "j3"]
+
+    def test_inter_pipeline_order(self):
+        # Merge join at the top: its left subtree pipeline finishes
+        # before the merge pipeline starts, so j1 precedes j2.
+        inner = HashJoin(SeqScan("a"), SeqScan("b"), ("j1",))
+        plan = finalize_plan(MergeJoin(inner, SeqScan("c"), ("j2",)))
+        order = [name for name, _ in epp_total_order(plan, ["j1", "j2"])]
+        assert order == ["j1", "j2"]
+
+    def test_restricted_to_requested_epps(self):
+        plan = left_deep_hash(["a", "b", "c"], ["j1", "j2"])
+        order = [name for name, _ in epp_total_order(plan, ["j2"])]
+        assert order == ["j2"]
+
+    def test_residual_predicates_not_spillable(self):
+        plan = finalize_plan(
+            HashJoin(SeqScan("a"), SeqScan("b"), ("j1", "jres")))
+        assert epp_total_order(plan, ["jres"]) == []
+
+
+class TestSpillEpp:
+    def test_first_unresolved_selected(self):
+        plan = left_deep_hash(["a", "b", "c"], ["j1", "j2"])
+        name, node = spill_epp(plan, {"j1", "j2"})
+        assert name == "j1"
+        assert node.primary_predicate == "j1"
+
+    def test_resolution_advances_target(self):
+        plan = left_deep_hash(["a", "b", "c"], ["j1", "j2"])
+        name, _node = spill_epp(plan, {"j2"})
+        assert name == "j2"
+
+    def test_none_when_no_spillable_epp(self):
+        plan = left_deep_hash(["a", "b"], ["j1"])
+        assert spill_epp(plan, {"other"}) is None
+
+    def test_purity_skips_contaminated_subtrees(self):
+        # j2's node contains unresolved residual predicate jres in its
+        # subtree: spilling on j2 would not satisfy Lemma 3.1.
+        bottom = HashJoin(SeqScan("a"), SeqScan("b"), ("j1", "jres"))
+        plan = finalize_plan(HashJoin(bottom, SeqScan("c"), ("j2",)))
+        choice = spill_epp(plan, {"j2", "jres"})
+        assert choice is None
+        # Once jres is resolved, j2 becomes spillable.
+        name, _ = spill_epp(plan, {"j2"})
+        assert name == "j2"

@@ -1,0 +1,80 @@
+"""Tests for the PlanBouquet baseline."""
+
+import pytest
+
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestGuarantee:
+    def test_formula(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours, lam=0.2)
+        assert pb.mso_guarantee() == pytest.approx(4 * 1.2 * pb.rho)
+
+    def test_without_reduction(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours, reduce=False)
+        assert pb.mso_guarantee() == pytest.approx(4 * pb.rho)
+        assert pb.budget_factor() == 1.0
+
+    def test_reduction_shrinks_rho(self, toy_space, toy_contours):
+        raw = PlanBouquet(toy_space, toy_contours, reduce=False)
+        red = PlanBouquet(toy_space, toy_contours, lam=0.2)
+        assert red.rho <= raw.rho
+
+
+class TestExecution:
+    def test_always_completes(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours)
+        for index in toy_space.grid.indices():
+            result = pb.run(index)
+            assert result.executions[-1].completed
+
+    def test_only_last_execution_completes(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours)
+        result = pb.run((10, 10))
+        assert all(not r.completed for r in result.executions[:-1])
+
+    def test_contours_ascending(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours)
+        result = pb.run((12, 4))
+        levels = [r.contour for r in result.executions]
+        assert levels == sorted(levels)
+
+    def test_budgets_follow_contours(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours, lam=0.2)
+        result = pb.run((12, 4))
+        for record in result.executions:
+            assert record.budget == pytest.approx(
+                toy_contours.cost(record.contour) * 1.2)
+
+    def test_completes_by_covering_contour(self, toy_space, toy_contours):
+        """The discovery must finish no later than the first contour
+        whose budget covers qa (possibly one later under reduction)."""
+        pb = PlanBouquet(toy_space, toy_contours)
+        for index in [(0, 0), (5, 9), (15, 15)]:
+            result = pb.run(index)
+            assert result.executions[-1].contour <= \
+                toy_contours.contour_of(index)
+
+    def test_origin_is_cheap(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours)
+        result = pb.run(toy_space.grid.origin)
+        assert result.executions[-1].contour == 0
+
+
+class TestMSO:
+    def test_empirical_within_guarantee(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours)
+        sweep = exhaustive_sweep(pb)
+        assert sweep.mso <= pb.mso_guarantee() + 1e-6
+
+    def test_unreduced_within_guarantee(self, toy_space, toy_contours):
+        pb = PlanBouquet(toy_space, toy_contours, reduce=False)
+        sweep = exhaustive_sweep(pb)
+        assert sweep.mso <= pb.mso_guarantee() + 1e-6
+
+    def test_q91_within_guarantee(self, q91_2d_space, q91_2d_contours):
+        pb = PlanBouquet(q91_2d_space, q91_2d_contours)
+        sweep = exhaustive_sweep(pb)
+        assert sweep.mso <= pb.mso_guarantee() + 1e-6
+        assert sweep.aso >= 1.0

@@ -1,0 +1,106 @@
+"""Tests for plan trees: structure, signatures, finalisation."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.plans.nodes import (
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    finalize_plan,
+    find_node,
+    join_nodes_for_predicate,
+)
+
+
+def build_sample():
+    return HashJoin(
+        MergeJoin(
+            SeqScan("a", ("f1",)),
+            SeqScan("b"),
+            ("j1",),
+        ),
+        SeqScan("c"),
+        ("j2", "j3"),
+    )
+
+
+class TestStructure:
+    def test_walk_is_postorder(self):
+        plan = finalize_plan(build_sample())
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["SeqScan", "SeqScan", "MergeJoin", "SeqScan",
+                         "HashJoin"]
+
+    def test_node_ids_postorder(self):
+        plan = finalize_plan(build_sample())
+        assert [n.node_id for n in plan.walk()] == [0, 1, 2, 3, 4]
+
+    def test_tables_union(self):
+        plan = build_sample()
+        assert plan.tables == frozenset(("a", "b", "c"))
+        assert plan.left.tables == frozenset(("a", "b"))
+
+    def test_primary_predicate(self):
+        plan = build_sample()
+        assert plan.primary_predicate == "j2"
+        assert plan.predicate_names == ("j2", "j3")
+
+    def test_join_requires_predicate(self):
+        with pytest.raises(PlanError):
+            HashJoin(SeqScan("a"), SeqScan("b"), ())
+
+    def test_is_leaf(self):
+        plan = build_sample()
+        assert not plan.is_leaf
+        assert plan.right.is_leaf
+
+
+class TestSignatures:
+    def test_equal_structures_equal_signatures(self):
+        assert build_sample().signature() == build_sample().signature()
+
+    def test_different_join_kind_differs(self):
+        a = HashJoin(SeqScan("a"), SeqScan("b"), ("j",))
+        b = NestedLoopJoin(SeqScan("a"), SeqScan("b"), ("j",))
+        assert a.signature() != b.signature()
+
+    def test_child_order_matters(self):
+        a = HashJoin(SeqScan("a"), SeqScan("b"), ("j",))
+        b = HashJoin(SeqScan("b"), SeqScan("a"), ("j",))
+        assert a.signature() != b.signature()
+
+    def test_filters_in_signature(self):
+        assert SeqScan("a", ("f",)).signature() != SeqScan("a").signature()
+
+    def test_signatures_hashable(self):
+        assert len({build_sample().signature(),
+                    build_sample().signature()}) == 1
+
+
+class TestFinalize:
+    def test_finalize_copies(self):
+        shared = SeqScan("a")
+        plan1 = finalize_plan(HashJoin(shared, SeqScan("b"), ("j",)))
+        plan2 = finalize_plan(HashJoin(shared, SeqScan("c"), ("k",)))
+        # The shared scan was copied: ids do not clash across plans.
+        assert plan1.left is not plan2.left
+
+    def test_find_node(self):
+        plan = finalize_plan(build_sample())
+        assert find_node(plan, 2).kind == "MergeJoin"
+        with pytest.raises(PlanError):
+            find_node(plan, 99)
+
+    def test_join_nodes_for_predicate(self):
+        plan = finalize_plan(build_sample())
+        assert len(join_nodes_for_predicate(plan, "j1")) == 1
+        # j3 is residual (non-primary): not reported.
+        assert join_nodes_for_predicate(plan, "j3") == []
+
+    def test_display_contains_operators(self):
+        text = finalize_plan(build_sample()).display()
+        assert "HashJoin" in text
+        assert "MergeJoin" in text
+        assert "SeqScan(a | f1)" in text

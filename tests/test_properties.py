@@ -1,0 +1,130 @@
+"""Cross-cutting property tests on randomly generated instances.
+
+These complement the per-module unit tests with invariants that must
+hold for *any* catalog/query the generator produces: contour geometry,
+spill-profile monotonicity, anorexic-reduction contracts, and the
+engine's learning soundness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.spillbound import SpillBound
+from repro.engine.simulated import SimulatedEngine
+from repro.ess.anorexic import anorexic_reduction
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.harness.generator import SHAPES, random_query
+
+_SPACE_CACHE = {}
+
+
+def small_space(seed, dims, shape):
+    """Exactly-built small space for a generated query (memoised)."""
+    key = (seed, dims, shape)
+    if key not in _SPACE_CACHE:
+        query = random_query(seed, dims=dims, shape=shape)
+        resolution = 8 if dims == 2 else 5
+        space = ExplorationSpace(query, resolution=resolution,
+                                 s_min=1e-5)
+        _SPACE_CACHE[key] = space.build(mode="exact")
+    return _SPACE_CACHE[key]
+
+
+@given(
+    seed=st.integers(0, 40),
+    dims=st.integers(2, 3),
+    shape=st.sampled_from(SHAPES),
+)
+@settings(max_examples=15, deadline=None)
+def test_contour_frontier_invariants(seed, dims, shape):
+    """Members fit their budget; the hypograph is dominated."""
+    space = small_space(seed, dims, shape)
+    contours = ContourSet(space)
+    for i in range(len(contours)):
+        members = contours.members(i)
+        costs = space.opt_cost[tuple(members.coords.T)]
+        assert np.all(costs <= contours.cost(i) * (1 + 1e-9))
+    # Hypograph domination for a mid-ladder contour.
+    mid = len(contours) // 2
+    cc = contours.cost(mid)
+    members = contours.members(mid).coords
+    hypograph = np.argwhere(space.opt_cost <= cc)
+    for q in hypograph:
+        assert np.any(np.all(members >= q, axis=1))
+
+
+@given(
+    seed=st.integers(0, 40),
+    dims=st.integers(2, 3),
+    shape=st.sampled_from(SHAPES),
+)
+@settings(max_examples=15, deadline=None)
+def test_spill_profiles_monotone(seed, dims, shape):
+    """Every plan's spill subtree cost is non-decreasing in its epp."""
+    space = small_space(seed, dims, shape)
+    engine = SimulatedEngine(space, space.grid.origin)
+    for info in space.plans[:6]:
+        target = info.spill_target(set(space.query.epps))
+        if target is None:
+            continue
+        epp, node = target
+        profile = engine._subtree_profile(info, epp, node)
+        assert np.all(np.diff(profile) >= -1e-9)
+
+
+@given(
+    seed=st.integers(0, 40),
+    lam=st.floats(0.0, 2.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_anorexic_contract(seed, lam):
+    """Reduced assignments stay within (1+lam) of optimal everywhere."""
+    space = small_space(seed, 2, "star")
+    reduced = anorexic_reduction(space, lam)
+    for flat in range(0, space.grid.size, 7):
+        index = space.grid.unflat(flat)
+        plan_id = int(reduced.plan_at[index])
+        cost = space.plans[plan_id].cost[index]
+        assert cost <= (1 + lam) * space.optimal_cost(index) * (1 + 1e-9)
+
+
+@given(
+    seed=st.integers(0, 40),
+    qa_seed=st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_engine_learning_sound(seed, qa_seed):
+    """Learnt lower bounds never overshoot the hidden truth."""
+    space = small_space(seed, 2, "chain")
+    rng = np.random.default_rng(qa_seed)
+    qa = tuple(int(rng.integers(0, s)) for s in space.grid.shape)
+    engine = SimulatedEngine(space, qa)
+    contours = ContourSet(space)
+    sb = SpillBound(space, contours)
+    result = sb.run(qa, engine=engine)
+    for record in result.executions:
+        if record.mode != "spill" or record.learned is None:
+            continue
+        dim = space.query.epp_index(record.epp)
+        if record.completed:
+            assert record.learned == qa[dim]
+        else:
+            assert record.learned < qa[dim]
+
+
+@given(
+    seed=st.integers(0, 40),
+    dims=st.integers(2, 3),
+    shape=st.sampled_from(SHAPES),
+)
+@settings(max_examples=10, deadline=None)
+def test_discovery_cost_dominates_oracle(seed, dims, shape):
+    """Sub-optimality is >= 1 at every probed location (the discovery
+    sequence includes a completing execution priced at true cost)."""
+    space = small_space(seed, dims, shape)
+    sb = SpillBound(space, ContourSet(space))
+    for corner in (space.grid.origin, space.grid.terminus):
+        assert sb.run(corner).sub_optimality >= 1.0 - 1e-9

@@ -1,0 +1,159 @@
+"""Unit tests for the SPJ query model."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.query.predicates import FilterPredicate, JoinPredicate
+from repro.query.query import Query, make_filter, make_join
+
+
+class TestJoinPredicate:
+    def test_requires_qualified_sides(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("j", "a", "t2.c")
+
+    def test_accessors(self):
+        j = JoinPredicate("j", "t1.a", "t2.b")
+        assert j.left_table == "t1"
+        assert j.left_column == "a"
+        assert j.right_table == "t2"
+        assert j.right_column == "b"
+        assert j.tables == frozenset(("t1", "t2"))
+
+    def test_other_side(self):
+        j = JoinPredicate("j", "t1.a", "t2.b")
+        assert j.other_side("t1") == "t2.b"
+        assert j.other_side("t2") == "t1.a"
+        with pytest.raises(QueryError):
+            j.other_side("t3")
+
+    def test_column_for(self):
+        j = JoinPredicate("j", "t1.a", "t2.b")
+        assert j.column_for("t1") == "t1.a"
+        assert j.column_for("t2") == "t2.b"
+        with pytest.raises(QueryError):
+            j.column_for("t3")
+
+
+class TestFilterPredicate:
+    def test_requires_qualified_column(self):
+        with pytest.raises(QueryError):
+            FilterPredicate("f", "col", "<", 5)
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(QueryError):
+            FilterPredicate("f", "t.c", "~", 5)
+
+    def test_accessors(self):
+        f = FilterPredicate("f", "t.c", "<=", 5)
+        assert f.table == "t"
+        assert f.column_name == "c"
+
+
+class TestQueryValidation:
+    def test_valid_query(self, toy_query):
+        assert toy_query.dimensions == 2
+        assert len(toy_query.joins) == 3
+
+    def test_rejects_duplicate_tables(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query("q", toy_catalog, ["fact", "fact"], [], [], ())
+
+    def test_rejects_disconnected_graph(self, toy_catalog):
+        with pytest.raises(QueryError, match="disconnected"):
+            Query(
+                "q", toy_catalog, ["fact", "dim1", "dim3"],
+                [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+                epps=(),
+            )
+
+    def test_rejects_join_outside_query(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query(
+                "q", toy_catalog, ["fact", "dim1"],
+                [make_join("j1", "fact.f_dim2", "dim2.d2_id")],
+                epps=(),
+            )
+
+    def test_rejects_unknown_column(self, toy_catalog):
+        with pytest.raises(Exception):
+            Query(
+                "q", toy_catalog, ["fact", "dim1"],
+                [make_join("j1", "fact.nope", "dim1.d1_id")],
+                epps=(),
+            )
+
+    def test_rejects_duplicate_predicate_names(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query(
+                "q", toy_catalog, ["fact", "dim1", "dim2"],
+                [
+                    make_join("j", "fact.f_dim1", "dim1.d1_id"),
+                    make_join("j", "fact.f_dim2", "dim2.d2_id"),
+                ],
+                epps=(),
+            )
+
+    def test_rejects_unknown_epp(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query(
+                "q", toy_catalog, ["fact", "dim1"],
+                [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+                epps=("missing",),
+            )
+
+    def test_rejects_duplicate_epps(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query(
+                "q", toy_catalog, ["fact", "dim1"],
+                [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+                epps=("j1", "j1"),
+            )
+
+    def test_rejects_filter_outside_query(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query(
+                "q", toy_catalog, ["fact", "dim1"],
+                [make_join("j1", "fact.f_dim1", "dim1.d1_id")],
+                [make_filter("f", "dim2.d2_attr", "<", 1)],
+                epps=(),
+            )
+
+    def test_rejects_empty_query(self, toy_catalog):
+        with pytest.raises(QueryError):
+            Query("q", toy_catalog, [], [], [], ())
+
+
+class TestQueryAccessors:
+    def test_epp_index_order(self, toy_query):
+        assert toy_query.epp_index("j1") == 0
+        assert toy_query.epp_index("j2") == 1
+        with pytest.raises(QueryError):
+            toy_query.epp_index("j3")  # not an epp
+
+    def test_is_epp(self, toy_query):
+        assert toy_query.is_epp("j1")
+        assert not toy_query.is_epp("j3")
+
+    def test_predicate_lookup(self, toy_query):
+        assert toy_query.predicate("j1").name == "j1"
+        assert toy_query.predicate("f1").op == "<"
+        with pytest.raises(QueryError):
+            toy_query.predicate("nope")
+
+    def test_filters_for(self, toy_query):
+        assert [f.name for f in toy_query.filters_for("fact")] == ["f1"]
+        assert toy_query.filters_for("dim1") == []
+
+    def test_join_for_tables(self, toy_query):
+        found = toy_query.join_for_tables({"fact"}, {"dim1"})
+        assert [j.name for j in found] == ["j1"]
+        found = toy_query.join_for_tables({"fact", "dim1"}, {"dim2"})
+        assert [j.name for j in found] == ["j2"]
+
+    def test_with_epps(self, toy_query):
+        clone = toy_query.with_epps(("j1", "j2", "j3"))
+        assert clone.dimensions == 3
+        assert clone.name.startswith("3D_")
+        # The original is untouched.
+        assert toy_query.dimensions == 2

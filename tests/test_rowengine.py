@@ -1,0 +1,92 @@
+"""Integration tests: discovery algorithms over the row executor."""
+
+import pytest
+
+from repro.algorithms.alignedbound import AlignedBound
+from repro.algorithms.oracle import Oracle
+from repro.algorithms.spillbound import SpillBound
+from repro.catalog.datagen import generate_database, true_join_selectivity
+from repro.catalog.schema import Catalog, Column, Table
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.executor.rowengine import RowBackedEngine
+from repro.query.query import Query, make_filter, make_join
+
+
+@pytest.fixture(scope="module")
+def row_setup():
+    catalog = Catalog("rowcat", [
+        Table("fact", 3000, [
+            Column("f_id", 3000),
+            Column("f_d1", 80),
+            Column("f_d2", 60),
+            Column("f_val", 40, lo=0, hi=40),
+        ]),
+        Table("d1", 120, [Column("k1", 80)]),
+        Table("d2", 90, [Column("k2", 60)]),
+    ])
+    query = Query(
+        "row_q", catalog,
+        ["fact", "d1", "d2"],
+        [
+            make_join("j1", "fact.f_d1", "d1.k1"),
+            make_join("j2", "fact.f_d2", "d2.k2"),
+        ],
+        [make_filter("f", "fact.f_val", "<", 20)],
+        epps=("j1", "j2"),
+    )
+    database = generate_database(
+        catalog, rng=9, skew={"fact.f_d1": 1.5, "d1.k1": 1.0}
+    )
+    space = ExplorationSpace(query, resolution=14, s_min=1e-5)
+    space.build(mode="exact")
+    return query, database, space
+
+
+class TestTruthDiscovery:
+    def test_matches_data_selectivity(self, row_setup):
+        query, database, space = row_setup
+        engine = RowBackedEngine(space, database)
+        sel = true_join_selectivity(
+            database["fact"]["f_d1"], database["d1"]["k1"])
+        d = query.epp_index("j1")
+        learned = space.grid.values[d][engine.qa_index[d]]
+        # Snapped to the nearest grid point: within one grid step.
+        step = space.grid.values[d][1] / space.grid.values[d][0]
+        assert learned / sel < step
+        assert sel / learned < step
+
+
+class TestRowBackedDiscovery:
+    def test_spillbound_completes(self, row_setup):
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=1.0)
+        sb = SpillBound(space, ContourSet(space))
+        result = sb.run(engine.qa_index, engine=engine)
+        assert result.executions[-1].completed
+        assert result.total_cost > 0
+
+    def test_alignedbound_completes(self, row_setup):
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=1.0)
+        ab = AlignedBound(space, ContourSet(space))
+        result = ab.run(engine.qa_index, engine=engine)
+        assert result.executions[-1].completed
+
+    def test_oracle_on_rows(self, row_setup):
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database)
+        result = Oracle(space).run(engine.qa_index, engine=engine)
+        assert result.sub_optimality == pytest.approx(1.0)
+
+    def test_spill_learning_near_truth(self, row_setup):
+        """A completed spill execution must learn (approximately) the
+        data's true selectivity."""
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=1.0)
+        sb = SpillBound(space, ContourSet(space))
+        result = sb.run(engine.qa_index, engine=engine)
+        for record in result.executions:
+            if record.mode == "spill" and record.completed:
+                dim = space.query.epp_index(record.epp)
+                assert abs(record.learned - engine.qa_index[dim]) <= 1

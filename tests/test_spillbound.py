@@ -1,0 +1,134 @@
+"""Tests for SpillBound: execution structure and the D^2+3D guarantee."""
+
+from collections import Counter
+
+import pytest
+
+from repro.algorithms.spillbound import SpillBound, spillbound_guarantee
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestGuaranteeFormula:
+    def test_doubling_matches_theorem(self):
+        for d in range(1, 8):
+            assert spillbound_guarantee(d, 2.0) == pytest.approx(
+                d * d + 3 * d)
+
+    def test_paper_remark_1_8(self):
+        # §4.2 remark: ratio 1.8 improves the 2D bound from 10 to 9.9.
+        assert spillbound_guarantee(2, 1.8) == pytest.approx(9.9)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            spillbound_guarantee(2, 1.0)
+
+    def test_algorithm_reports_formula(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        assert sb.mso_guarantee() == pytest.approx(10.0)
+
+
+class TestExecutionStructure:
+    def test_all_locations_terminate(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        for index in toy_space.grid.indices():
+            result = sb.run(index)
+            assert result.executions[-1].completed
+
+    def test_final_execution_is_regular(self, toy_space, toy_contours):
+        """The query answer always comes from a regular (non-spill)
+        execution -- spill output is discarded."""
+        sb = SpillBound(toy_space, toy_contours)
+        for index in [(0, 0), (7, 3), (15, 15), (2, 14)]:
+            result = sb.run(index)
+            assert result.executions[-1].mode == "regular"
+
+    def test_fresh_executions_bounded_by_d(self, toy_space, toy_contours):
+        """Lemma 4.4: at most D fresh spill executions per contour."""
+        sb = SpillBound(toy_space, toy_contours)
+        d = toy_space.query.dimensions
+        for index in toy_space.grid.indices():
+            result = sb.run(index)
+            fresh = Counter(
+                r.contour for r in result.executions
+                if r.mode == "spill" and not r.repeat
+            )
+            assert all(count <= d for count in fresh.values())
+
+    def test_repeat_executions_bounded(self, toy_space_3d,
+                                       toy_contours_3d):
+        """Lemma 4.4: total repeats bounded by D(D-1)/2."""
+        sb = SpillBound(toy_space_3d, toy_contours_3d)
+        d = toy_space_3d.query.dimensions
+        for index in toy_space_3d.grid.indices():
+            result = sb.run(index)
+            repeats = sum(
+                1 for r in result.executions
+                if r.mode == "spill" and r.repeat
+            )
+            assert repeats <= d * (d - 1) / 2
+
+    def test_spill_budgets_equal_contour_cost(self, toy_space,
+                                              toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        result = sb.run((9, 9))
+        for record in result.executions:
+            if record.mode == "spill":
+                assert record.budget == pytest.approx(
+                    toy_contours.cost(record.contour))
+
+    def test_contours_never_revisited_downward(self, toy_space,
+                                               toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        result = sb.run((11, 6))
+        levels = [r.contour for r in result.executions]
+        assert levels == sorted(levels)
+
+    def test_completes_by_covering_contour(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        for index in [(0, 0), (4, 12), (15, 15), (8, 8)]:
+            result = sb.run(index)
+            assert result.executions[-1].contour <= \
+                toy_contours.contour_of(index)
+
+    def test_exact_learning_matches_truth(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        qa = (6, 13)
+        result = sb.run(qa)
+        for record in result.executions:
+            if record.mode == "spill" and record.completed:
+                dim = toy_space.query.epp_index(record.epp)
+                assert record.learned == qa[dim]
+
+
+class TestMSOBound:
+    def test_toy_2d_within_10(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 10.0 + 1e-6  # Theorem 4.2
+
+    def test_toy_3d_within_18(self, toy_space_3d, toy_contours_3d):
+        sb = SpillBound(toy_space_3d, toy_contours_3d)
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 18.0 + 1e-6  # D^2+3D, D=3
+
+    def test_q91_2d_within_10(self, q91_2d_space, q91_2d_contours):
+        sb = SpillBound(q91_2d_space, q91_2d_contours)
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 10.0 + 1e-6
+
+    def test_nondoubling_ratio_bound(self, toy_space):
+        from repro.ess.contours import ContourSet
+        contours = ContourSet(toy_space, ratio=1.8)
+        sb = SpillBound(toy_space, contours)
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= spillbound_guarantee(2, 1.8) + 1e-6
+
+    def test_beats_planbouquet_on_average(self, q91_2d_space,
+                                          q91_2d_contours):
+        """The paper's headline empirical claim (Figs. 10-11)."""
+        from repro.algorithms.planbouquet import PlanBouquet
+        sb_sweep = exhaustive_sweep(
+            SpillBound(q91_2d_space, q91_2d_contours))
+        pb_sweep = exhaustive_sweep(
+            PlanBouquet(q91_2d_space, q91_2d_contours))
+        assert sb_sweep.aso <= pb_sweep.aso

@@ -1,0 +1,81 @@
+"""Tests for the TPC-H catalog and bonus workloads."""
+
+import pytest
+
+from repro.catalog.tpch import tpch_catalog
+from repro.ess.contours import ContourSet
+from repro.ess.space import ExplorationSpace
+from repro.harness.tpch_workloads import (
+    TPCH_SUITE,
+    example_query_eq,
+    tpch_suite,
+    tpch_workload,
+)
+from repro.metrics.mso import exhaustive_sweep
+
+
+class TestCatalog:
+    def test_tables_present(self):
+        catalog = tpch_catalog()
+        for name in ("lineitem", "orders", "customer", "part",
+                     "supplier", "nation", "region"):
+            assert name in catalog
+
+    def test_lineitem_largest(self):
+        catalog = tpch_catalog()
+        assert catalog.table("lineitem").row_count == max(
+            t.row_count for t in catalog.tables.values())
+
+    def test_scale_factor(self):
+        sf1 = tpch_catalog(scale_factor=1)
+        sf10 = tpch_catalog(scale_factor=10)
+        assert sf10.table("orders").row_count == \
+            10 * sf1.table("orders").row_count
+        # Fixed-size tables stay fixed.
+        assert sf10.table("nation").row_count == 25
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", TPCH_SUITE)
+    def test_suite_builds(self, name):
+        query = tpch_workload(name)
+        declared = int(name.split("D_")[0])
+        assert query.dimensions == declared
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            tpch_workload("9D_H99")
+
+    def test_suite_complete(self):
+        assert len(tpch_suite()) == 4
+
+    def test_example_query_matches_figure_1(self):
+        """The introduction's EQ: part/lineitem/orders with the
+        retail-price filter and the two join epps bold-faced."""
+        query = example_query_eq()
+        assert set(query.tables) == {"part", "lineitem", "orders"}
+        assert query.epps == ("p_l", "o_l")
+        filt = query.predicate("f_price")
+        assert filt.op == "<"
+        assert filt.constant == 1_000
+
+
+class TestGuaranteesOnTpch:
+    def test_example_query_spillbound_bound(self):
+        """The paper's own example obeys Theorem 4.2 end to end."""
+        from repro.algorithms.spillbound import SpillBound
+        query = example_query_eq()
+        space = ExplorationSpace(query, resolution=12)
+        space.build(mode="fast", rng=0)
+        sb = SpillBound(space, ContourSet(space))
+        sweep = exhaustive_sweep(sb)
+        assert sweep.mso <= 10.0 + 1e-6
+
+    def test_q10_alignedbound_bound(self):
+        from repro.algorithms.alignedbound import AlignedBound
+        query = tpch_workload("3D_H10")
+        space = ExplorationSpace(query, resolution=8)
+        space.build(mode="fast", rng=0)
+        ab = AlignedBound(space, ContourSet(space))
+        sweep = exhaustive_sweep(ab, sample=64, rng=0)
+        assert sweep.mso <= 18.0 + 1e-6

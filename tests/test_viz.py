@@ -1,0 +1,100 @@
+"""Tests for ASCII and SVG visualisations."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.spillbound import SpillBound
+from repro.common.errors import DiscoveryError
+from repro.ess.contours import ContourSet
+from repro.viz.ascii_art import (
+    ascii_contour_map,
+    ascii_heatmap,
+    ascii_plan_diagram,
+)
+from repro.viz.svg import (
+    render_contour_svg,
+    render_plan_diagram_svg,
+    render_trace_svg,
+)
+
+
+class TestAsciiPlanDiagram:
+    def test_dimensions(self, toy_space):
+        text = ascii_plan_diagram(toy_space.plan_at, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == toy_space.grid.shape[1]
+        assert all(len(line) == toy_space.grid.shape[0]
+                   for line in lines)
+
+    def test_legend_lists_plans(self, toy_space):
+        text = ascii_plan_diagram(toy_space.plan_at)
+        assert "legend:" in text
+        assert "P1" in text
+
+    def test_origin_bottom_left(self):
+        plan_at = np.array([[0, 1], [0, 1]])  # y=1 row is all plan 1
+        text = ascii_plan_diagram(plan_at, legend=False)
+        top, bottom = text.splitlines()
+        assert bottom == "AA"
+        assert top == "BB"
+
+    def test_rejects_3d(self):
+        with pytest.raises(DiscoveryError):
+            ascii_plan_diagram(np.zeros((2, 2, 2)))
+
+
+class TestAsciiContourMap:
+    def test_levels_increase_diagonally(self, toy_space, toy_contours):
+        text = ascii_contour_map(toy_space, toy_contours)
+        lines = text.splitlines()
+        # Bottom-left (origin) is the cheapest level; top-right deepest.
+        assert lines[-1][0] == "0"
+        assert lines[0][-1] != "0"
+
+    def test_trace_overlay(self, toy_space, toy_contours):
+        text = ascii_contour_map(toy_space, toy_contours,
+                                 trace=[(3, 3), (4, 3)])
+        assert "*" in text
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        values = np.ones((5, 7))
+        text = ascii_heatmap(values)
+        assert len(text.splitlines()) == 7
+
+    def test_extremes_use_ramp_ends(self):
+        values = np.array([[1.0, 1e6]])
+        text = ascii_heatmap(values)
+        assert text.splitlines()[0] == "@"  # top row is the max
+        assert text.splitlines()[-1] == " "
+
+
+class TestSvg:
+    def test_plan_diagram_document(self, toy_space, tmp_path):
+        path = str(tmp_path / "diagram.svg")
+        document = render_plan_diagram_svg(toy_space, path=path)
+        assert document.startswith("<svg")
+        assert document.rstrip().endswith("</svg>")
+        assert "P1" in document
+        assert open(path).read() == document
+
+    def test_contour_document(self, toy_space, toy_contours):
+        document = render_contour_svg(toy_space, toy_contours)
+        assert document.count("<circle") > len(toy_contours)
+
+    def test_trace_document(self, toy_space, toy_contours):
+        sb = SpillBound(toy_space, toy_contours)
+        result = sb.run((9, 11))
+        document = render_trace_svg(toy_space, toy_contours, result)
+        assert "qa" in document
+        assert "<line" in document
+
+    def test_requires_2d(self, toy_space_3d):
+        with pytest.raises(DiscoveryError):
+            render_plan_diagram_svg(toy_space_3d)
+
+    def test_title_escaped(self, toy_space):
+        document = render_plan_diagram_svg(
+            toy_space, title="a < b & c")
+        assert "a &lt; b &amp; c" in document

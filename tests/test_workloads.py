@@ -1,0 +1,69 @@
+"""Tests for the benchmark workload registry."""
+
+import pytest
+
+from repro.harness.workloads import (
+    PAPER_SUITE,
+    build_space,
+    job_q1a,
+    paper_suite,
+    q91_dimensional_ramp,
+    workload,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_paper_suite_builds(self, name):
+        query = workload(name)
+        declared = int(name.split("D_")[0])
+        assert query.dimensions == declared
+        assert query.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            workload("9D_Q999")
+
+    def test_paper_suite_complete(self):
+        queries = paper_suite()
+        assert len(queries) == 11
+        dims = sorted(q.dimensions for q in queries)
+        assert dims == [3, 3, 4, 4, 4, 4, 5, 5, 5, 6, 6]
+
+    def test_epps_are_joins(self):
+        from repro.query.predicates import JoinPredicate
+        for query in paper_suite():
+            for epp in query.epps:
+                assert isinstance(query.predicate(epp), JoinPredicate)
+
+    def test_q91_ramp(self):
+        ramp = q91_dimensional_ramp()
+        assert [q.dimensions for q in ramp] == [2, 3, 4, 5, 6]
+        # Lower-dimensional epp sets are prefixes of higher ones.
+        for small, big in zip(ramp, ramp[1:]):
+            assert big.epps[: small.dimensions] == small.epps
+
+    def test_job_q1a(self):
+        query = job_q1a(3)
+        assert query.dimensions == 3
+        assert "title" in query.tables
+        assert query.catalog.name == "imdb_job"
+
+
+class TestBuildSpace:
+    def test_cache_hits(self):
+        query = workload("2D_Q91")
+        a = build_space(query, resolution=8)
+        b = build_space(query, resolution=8)
+        assert a is b
+
+    def test_cache_bypass(self):
+        query = workload("2D_Q91")
+        a = build_space(query, resolution=8)
+        b = build_space(query, resolution=8, cache=False)
+        assert a is not b
+
+    def test_resolution_respected(self):
+        query = workload("2D_Q91")
+        space = build_space(query, resolution=6, cache=False)
+        assert space.grid.shape == (6, 6)
