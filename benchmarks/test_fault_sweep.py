@@ -1,0 +1,35 @@
+"""Robustness sweep: MSO degradation vs. substrate fault rate.
+
+The guard's contract under injected faults (crashes with partial spend,
+transients, monitor corruption, meter drift): every run terminates with
+either a trustworthy answer or an explicit ``degraded=True`` fallback,
+and with faults disabled the sweep must reproduce the clean empirical
+MSO bound exactly.
+"""
+
+from conftest import emit, resolution_for, run_once
+
+from repro.harness import experiments as exp
+
+
+def test_fault_sweep(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: exp.fault_sweep(
+            "2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
+            resolution=resolution_for("2D_Q91"), sweep_sample=48),
+    )
+    emit(report, "fault_sweep.txt")
+    rows = report.tables[0][2]
+    # Fault-free row: nothing degrades, nothing retries, nothing wasted,
+    # and the clean SpillBound guarantee (D^2+3D = 10) holds.
+    rate0 = rows[0]
+    assert rate0[0] == 0.0
+    assert rate0[1] <= 10.0 + 1e-6
+    assert rate0[3] == 0.0 and rate0[4] == 0.0 and rate0[5] == 0.0
+    # Non-degraded answers stay finite at every rate; accounting columns
+    # are well-formed percentages.
+    for _rate, msoe, aso, degraded_pct, _retries, wasted_pct in rows:
+        assert msoe >= aso >= 1.0
+        assert 0.0 <= degraded_pct <= 100.0
+        assert 0.0 <= wasted_pct <= 100.0

@@ -110,8 +110,10 @@ class AlignedBound(SpillBound):
             if outcome.completed:
                 state.learn_exact(outcome.dim, part.leader,
                                   outcome.learned_index)
+                state.sync(i)
                 return True
             state.learn_bound(outcome.dim, outcome.learned_index)
+            state.sync(i)
         return False
 
     # ------------------------------------------------------------------

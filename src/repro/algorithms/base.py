@@ -107,12 +107,18 @@ class RobustAlgorithm:
         """Create a fresh engine hiding ``qa_index`` as the truth."""
         return SimulatedEngine(self.space, qa_index)
 
-    def run(self, qa_index, engine=None):
+    def run(self, qa_index, engine=None, checkpoint=None):
         """Simulate the discovery sequence for truth ``qa_index``.
 
         ``engine`` optionally substitutes a different execution
         environment (e.g. the row-level executor) for the default
-        cost-model simulation.
+        cost-model simulation. ``checkpoint`` optionally snapshots
+        certified discovery state as the run progresses (see
+        :mod:`repro.robustness.checkpoint`); an *active* checkpoint
+        additionally seeds the run so it resumes from the recorded
+        contour instead of re-learning from contour 1. Capturing is
+        passive: with an empty checkpoint the execution sequence is
+        identical to a checkpoint-free run.
         """
         raise NotImplementedError
 

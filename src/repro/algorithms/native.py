@@ -44,7 +44,7 @@ class NativeOptimizer(RobustAlgorithm):
         """The grid location the optimizer believes in."""
         return self._qe_index
 
-    def run(self, qa_index, engine=None):
+    def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         plan = self._qe_plan
         if engine is not None:

@@ -13,7 +13,7 @@ class Oracle(RobustAlgorithm):
 
     name = "oracle"
 
-    def run(self, qa_index, engine=None):
+    def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         plan = self.space.optimal_plan(qa_index)
         if engine is not None:

@@ -36,13 +36,18 @@ class RandomizedPlanBouquet(PlanBouquet):
         rng.shuffle(order)
         return order
 
-    def run(self, qa_index, engine=None):
+    def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         engine = engine or self.engine_for(qa_index)
         factor = self.budget_factor()
         spent = 0.0
         records = []
-        for i in range(len(self.contours)):
+        start = 0
+        if checkpoint is not None and checkpoint.active:
+            start = min(checkpoint.contour, len(self.contours) - 1)
+        for i in range(start, len(self.contours)):
+            if checkpoint is not None:
+                checkpoint.capture(i)
             budget = self.contours.cost(i) * factor
             for plan_id in self._shuffled(self.contour_plans[i], qa_index):
                 outcome = engine.execute(self.space.plans[plan_id], budget)

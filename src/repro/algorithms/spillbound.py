@@ -81,13 +81,16 @@ class SpillBound(RobustAlgorithm):
 
     # ------------------------------------------------------------------
 
-    def run(self, qa_index, engine=None):
+    def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         engine = engine or self.engine_for(qa_index)
-        state = _DiscoveryState(self.space)
+        state = _DiscoveryState(self.space, checkpoint)
         m = len(self.contours)
         i = 0
+        if checkpoint is not None and checkpoint.active:
+            i = min(checkpoint.restore(state), m - 1)
         while i < m:
+            state.sync(i)
             if len(state.remaining) == 1:
                 done = self._one_d_phase(engine, state, i)
                 if done:
@@ -138,8 +141,10 @@ class SpillBound(RobustAlgorithm):
             ))
             if outcome.completed:
                 state.learn_exact(outcome.dim, epp, outcome.learned_index)
+                state.sync(i)
                 return True
             state.learn_bound(outcome.dim, outcome.learned_index)
+            state.sync(i)
         return False
 
     def _choose_spill_plan(self, members, epp, remaining_key):
@@ -177,6 +182,7 @@ class SpillBound(RobustAlgorithm):
 
     def _one_d_phase(self, engine, state, start_contour):
         for k in range(start_contour, len(self.contours)):
+            state.sync(k)
             members = self.contours.members(k, fixed=state.resolved)
             if members.is_empty:
                 continue
@@ -229,9 +235,9 @@ class _DiscoveryState:
     """Mutable bookkeeping shared by SpillBound-style algorithms."""
 
     __slots__ = ("space", "resolved", "remaining", "qrun", "spent",
-                 "records", "executed", "extras")
+                 "records", "executed", "extras", "checkpoint", "contour")
 
-    def __init__(self, space):
+    def __init__(self, space, checkpoint=None):
         self.space = space
         self.resolved = {}  # dim -> exact grid index
         self.remaining = set(space.query.epps)
@@ -240,10 +246,24 @@ class _DiscoveryState:
         self.records = []
         self.executed = set()
         self.extras = {}
+        self.checkpoint = checkpoint
+        self.contour = 0
 
     def charge(self, record):
         self.spent += record.spent
         self.records.append(record)
+
+    def sync(self, contour):
+        """Snapshot certified knowledge into the checkpoint (if any)."""
+        self.contour = contour
+        if self.checkpoint is not None:
+            self.checkpoint.capture(
+                contour,
+                resolved=self.resolved,
+                qrun=self.qrun,
+                remaining=self.remaining,
+                executed=self.executed,
+            )
 
     def learn_exact(self, dim, epp, index):
         self.resolved[dim] = index

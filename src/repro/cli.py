@@ -9,6 +9,9 @@ Commands
     known from the query alone, the paper's headline property).
 ``run WORKLOAD --qa i,j,...``
     Simulate one discovery run at a hidden truth and print the trace.
+    With ``--faults SPEC`` the run executes on a fault-injecting engine
+    under a graceful-degradation guard and also prints the guard's
+    degradation accounting.
 ``sweep WORKLOAD``
     Exhaustive empirical MSO/ASO for PB, SB and AB.
 ``epps WORKLOAD``
@@ -16,7 +19,7 @@ Commands
 ``experiment NAME``
     Regenerate one of the paper's tables/figures (fig8, fig9, fig10,
     fig12, fig13, table2, table3, table4, wallclock, job,
-    ablation-ratio, ablation-anorexic).
+    ablation-ratio, ablation-anorexic, fault-sweep).
 """
 
 import argparse
@@ -24,7 +27,7 @@ import sys
 
 from repro.algorithms import AlignedBound, PlanBouquet, SpillBound
 from repro.algorithms.spillbound import spillbound_guarantee
-from repro.common.reporting import format_table
+from repro.common.reporting import format_degradation, format_table
 from repro.ess.contours import ContourSet
 from repro.harness import experiments
 from repro.harness.epp_selection import rank_epps
@@ -55,6 +58,8 @@ EXPERIMENTS = {
         resolution=args.resolution, sweep_sample=args.sample),
     "ablation-anorexic": lambda args: experiments.ablation_anorexic(
         resolution=args.resolution, sweep_sample=args.sample),
+    "fault-sweep": lambda args: experiments.fault_sweep(
+        resolution=args.resolution, sweep_sample=args.sample or 64),
 }
 
 
@@ -79,6 +84,15 @@ def build_parser():
     p.add_argument("--algorithm", default="spillbound",
                    choices=("planbouquet", "spillbound", "alignedbound"))
     p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject faults: a crash rate (e.g. 0.2) or a "
+                        "k=v list like crash=0.2,corrupt=0.1,drift=0.05; "
+                        "the run is driven by a DiscoveryGuard")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the injected fault stream")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="guard retry budget before degrading to the "
+                        "native-optimizer path")
 
     p = sub.add_parser("sweep", help="exhaustive empirical MSO/ASO")
     p.add_argument("workload")
@@ -162,7 +176,17 @@ def main(argv=None):
             qa = tuple(int(x) for x in args.qa.split(","))
         else:
             qa = tuple(int(r * 0.7) for r in space.grid.shape)
-        result = algorithm.run(qa)
+        engine = None
+        if args.faults is not None:
+            from repro.engine.faulty import FaultPlan, FaultyEngine
+            from repro.robustness import DiscoveryGuard, RetryPolicy
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+            engine = FaultyEngine(space, qa, plan=plan)
+            algorithm = DiscoveryGuard(
+                algorithm,
+                policy=RetryPolicy(max_retries=args.max_retries),
+            )
+        result = algorithm.run(qa, engine=engine)
         rows = [
             (r.contour + 1, r.mode, "P%d" % (r.plan_id + 1),
              r.epp or "-", r.budget, r.spent,
@@ -174,6 +198,11 @@ def main(argv=None):
             rows,
             title="%s at qa=%s: sub-optimality %.2f" %
                   (algorithm.name, qa, result.sub_optimality)) + "\n")
+        if args.faults is not None:
+            out.write("\n" + format_degradation(
+                [("qa=%s" % (qa,), result.extras)],
+                title="Degradation accounting (%s)" % plan.describe())
+                + "\n")
         return 0
 
     if args.command == "sweep":

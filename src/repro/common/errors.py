@@ -46,3 +46,30 @@ class BudgetExhaustedError(ExecutionError):
 
 class DiscoveryError(ReproError):
     """Raised when a discovery algorithm reaches an inconsistent state."""
+
+
+class TransientEngineError(ReproError):
+    """Raised by an execution environment for a *retryable* failure.
+
+    Models lock timeouts, connection resets and similar transient
+    conditions: no budget has been spent and re-submitting the same
+    execution is expected to succeed. Discovery drivers (see
+    :class:`repro.robustness.guard.DiscoveryGuard`) retry these under a
+    bounded policy instead of aborting the run.
+    """
+
+
+class EngineCrashError(ReproError):
+    """Raised when an execution environment dies mid-execution.
+
+    Unlike :class:`TransientEngineError`, part of the budget has already
+    been expended (``spent``) and the run-time monitor state is lost --
+    the execution yields *no* learned selectivity. The whole discovery
+    run aborts; a checkpoint-aware driver can resume it from the last
+    completed contour.
+    """
+
+    def __init__(self, message, spent=0.0):
+        super().__init__(message)
+        #: Cost units irrecoverably expended before the crash.
+        self.spent = spent

@@ -39,6 +39,46 @@ def format_table(headers, rows, title=None, floatfmt="{:.2f}"):
     return "\n".join(parts)
 
 
+#: Column order for degradation accounting tables.
+DEGRADATION_HEADERS = [
+    "run", "degraded", "retries", "wasted cost", "meter drift",
+    "MSO inflation", "notes",
+]
+
+
+def degradation_rows(items):
+    """Rows for a degradation accounting table.
+
+    ``items`` is an iterable of ``(label, extras)`` pairs where
+    ``extras`` is the accounting a
+    :class:`repro.robustness.guard.DiscoveryGuard` records in
+    ``RunResult.extras`` (``degraded``, ``retries``, ``wasted_cost``,
+    ``meter_drift``, ``effective_mso_inflation``, ``violations``).
+    """
+    rows = []
+    for label, extras in items:
+        violations = extras.get("violations") or []
+        notes = "; ".join(violations) if violations else (
+            "fallback=%s" % extras["fallback"]
+            if extras.get("degraded") else "-")
+        rows.append((
+            label,
+            "yes" if extras.get("degraded") else "no",
+            int(extras.get("retries", 0)),
+            float(extras.get("wasted_cost", 0.0)),
+            float(extras.get("meter_drift", 0.0)),
+            float(extras.get("effective_mso_inflation", 1.0)),
+            notes,
+        ))
+    return rows
+
+
+def format_degradation(items, title="Degradation accounting"):
+    """Render guard accounting for one or more runs as a table."""
+    return format_table(DEGRADATION_HEADERS, degradation_rows(items),
+                        title=title)
+
+
 class Report:
     """Accumulates named result tables for an experiment run."""
 
@@ -50,6 +90,12 @@ class Report:
         """Record a table; returns the rows for chaining."""
         self.tables.append((title, list(headers), [list(r) for r in rows]))
         return rows
+
+    def add_degradation(self, title, items):
+        """Record a degradation accounting table (see
+        :func:`degradation_rows`)."""
+        return self.add_table(title, DEGRADATION_HEADERS,
+                              degradation_rows(items))
 
     def render(self):
         """Render every recorded table, separated by blank lines."""

@@ -1,5 +1,12 @@
 """Execution environments for discovery algorithms."""
 
 from repro.engine.simulated import SimulatedEngine, SpillOutcome, RegularOutcome
+from repro.engine.faulty import FaultPlan, FaultyEngine
 
-__all__ = ["SimulatedEngine", "SpillOutcome", "RegularOutcome"]
+__all__ = [
+    "SimulatedEngine",
+    "SpillOutcome",
+    "RegularOutcome",
+    "FaultPlan",
+    "FaultyEngine",
+]

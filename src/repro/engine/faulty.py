@@ -1,0 +1,231 @@
+"""Deterministic, seeded fault injection for discovery runs.
+
+The MSO guarantees assume a flawless execution substrate; §7 only covers
+bounded cost-model error (:class:`repro.engine.noisy.NoisyEngine`). A
+production engine additionally crashes mid-execution, loses run-time
+monitor observations, and drifts its budget meter. :class:`FaultyEngine`
+makes those adversities reproducible so the graceful-degradation layer
+(:mod:`repro.robustness`) can be *measured under adversity* rather than
+only proven under ideal assumptions.
+
+Fault kinds (all declared on a :class:`FaultPlan`, all seeded):
+
+* **transient** -- the execution fails before spending anything and
+  raises :class:`TransientEngineError`; resubmission may succeed.
+* **crash** -- the engine dies mid-execution: a fraction of the
+  execution's expenditure is irrecoverably lost, the monitor state with
+  it (*no* learned selectivity), and :class:`EngineCrashError` aborts
+  the whole discovery run.
+* **corruption** -- the run-time monitor of a spill execution reports a
+  stale or garbage ``learned_index``; the execution itself "succeeds",
+  so only invariant validation can catch it downstream.
+* **drift** -- the budget meter over-reports ``spent``, inflating it
+  beyond the nominal budget; pure accounting damage.
+
+Faults compose with cost-model noise: pass a :class:`NoisyEngine`
+(or any engine honouring the same contract and hiding the same truth)
+as ``base`` and the fault layer perturbs *its* outcomes.
+
+Decisions are drawn from ``default_rng((plan.seed, call_ordinal))`` so a
+given (plan, call sequence) pair is exactly reproducible, while retried
+executions see fresh draws (the ordinal advances) -- matching real
+transient faults, which do not chase a resubmitted query forever.
+"""
+
+import numpy as np
+
+from repro.common.errors import (
+    DiscoveryError,
+    EngineCrashError,
+    TransientEngineError,
+)
+from repro.engine.simulated import SimulatedEngine
+
+#: Bounds of the uniformly drawn fraction of an execution's expenditure
+#: that is lost when a crash fault fires.
+CRASH_SPEND_LO = 0.05
+CRASH_SPEND_HI = 0.95
+
+
+class FaultPlan:
+    """Declarative description of the adversity to inject.
+
+    Rates are independent per-execution probabilities in ``[0, 1]``.
+    ``drift_factor`` bounds the multiplicative meter inflation (drawn
+    uniformly from ``[1, drift_factor]``). ``crash_on_calls`` /
+    ``transient_on_calls`` force the respective fault at specific call
+    ordinals (1-based), regardless of the rates -- used for targeted
+    tests and crash-at-contour-k reproductions.
+    """
+
+    __slots__ = ("crash_rate", "transient_rate", "corruption_rate",
+                 "drift_rate", "drift_factor", "seed", "crash_on_calls",
+                 "transient_on_calls")
+
+    def __init__(self, crash_rate=0.0, transient_rate=0.0,
+                 corruption_rate=0.0, drift_rate=0.0, drift_factor=1.5,
+                 seed=0, crash_on_calls=(), transient_on_calls=()):
+        for name, rate in (("crash_rate", crash_rate),
+                           ("transient_rate", transient_rate),
+                           ("corruption_rate", corruption_rate),
+                           ("drift_rate", drift_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r"
+                                 % (name, rate))
+        if drift_factor < 1.0:
+            raise ValueError("drift_factor must be >= 1")
+        self.crash_rate = crash_rate
+        self.transient_rate = transient_rate
+        self.corruption_rate = corruption_rate
+        self.drift_rate = drift_rate
+        self.drift_factor = drift_factor
+        self.seed = seed
+        self.crash_on_calls = frozenset(crash_on_calls)
+        self.transient_on_calls = frozenset(transient_on_calls)
+
+    @property
+    def is_clean(self):
+        """True when the plan injects nothing at all."""
+        return (self.crash_rate == self.transient_rate ==
+                self.corruption_rate == self.drift_rate == 0.0
+                and not self.crash_on_calls
+                and not self.transient_on_calls)
+
+    @classmethod
+    def parse(cls, spec, seed=0):
+        """Build a plan from a CLI spec string.
+
+        ``spec`` is either a single float (used as the crash rate) or a
+        comma list of ``knob=value`` pairs with knobs ``crash``,
+        ``transient``, ``corrupt``, ``drift`` and ``drift_factor``,
+        e.g. ``"crash=0.2,corrupt=0.1"``.
+        """
+        keys = {"crash": "crash_rate", "transient": "transient_rate",
+                "corrupt": "corruption_rate", "drift": "drift_rate",
+                "drift_factor": "drift_factor"}
+        kwargs = {"seed": seed}
+        try:
+            kwargs["crash_rate"] = float(spec)
+            return cls(**kwargs)
+        except ValueError:
+            pass
+        for item in spec.split(","):
+            if not item.strip():
+                continue
+            name, _, value = item.partition("=")
+            name = name.strip()
+            if name not in keys:
+                raise ValueError(
+                    "unknown fault knob %r (expected one of %s)"
+                    % (name, ", ".join(sorted(keys))))
+            kwargs[keys[name]] = float(value)
+        return cls(**kwargs)
+
+    def describe(self):
+        """Short human-readable summary for reports."""
+        parts = []
+        for label, rate in (("crash", self.crash_rate),
+                            ("transient", self.transient_rate),
+                            ("corrupt", self.corruption_rate),
+                            ("drift", self.drift_rate)):
+            if rate:
+                parts.append("%s=%g" % (label, rate))
+        return ",".join(parts) or "clean"
+
+    def __repr__(self):
+        return "FaultPlan(%s, seed=%d)" % (self.describe(), self.seed)
+
+
+class FaultyEngine(SimulatedEngine):
+    """Execution environment that injects :class:`FaultPlan` adversity.
+
+    ``base`` optionally supplies the underlying execution semantics
+    (e.g. a :class:`repro.engine.noisy.NoisyEngine` hiding the same
+    truth); without it the clean cost-model simulation is used. Fault
+    decisions never depend on the base engine, so the same plan injects
+    the same adversity with and without cost noise.
+    """
+
+    def __init__(self, space, qa_index, plan=None, base=None):
+        super().__init__(space, qa_index)
+        self.plan = plan or FaultPlan()
+        if base is not None and tuple(base.qa_index) != self.qa_index:
+            raise DiscoveryError(
+                "base engine hides a different truth than the fault layer")
+        self.base = base
+        #: 1-based ordinal of the next budgeted execution; drives the
+        #: per-call fault RNG and the ``*_on_calls`` triggers.
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+
+    def sound(self):
+        """The fault-free engine underneath (for degraded fallbacks)."""
+        return self.base if self.base is not None \
+            else SimulatedEngine(self.space, self.qa_index)
+
+    @property
+    def optimal_cost(self):
+        if self.base is not None:
+            return self.base.optimal_cost
+        return super().optimal_cost
+
+    def true_cost(self, plan_info):
+        if self.base is not None:
+            return self.base.true_cost(plan_info)
+        return super().true_cost(plan_info)
+
+    # ------------------------------------------------------------------
+
+    def _draws(self):
+        """Advance the call ordinal; return (rng, forced) for the call."""
+        self.calls += 1
+        rng = np.random.default_rng((self.plan.seed, self.calls))
+        return rng, self.calls
+
+    def _pre_faults(self, rng, ordinal):
+        """Faults that fire before any budget is spent."""
+        transient = (ordinal in self.plan.transient_on_calls or
+                     rng.uniform() < self.plan.transient_rate)
+        if transient:
+            raise TransientEngineError(
+                "injected transient failure at call %d" % ordinal)
+
+    def _crash(self, rng, ordinal, spent):
+        crash = (ordinal in self.plan.crash_on_calls or
+                 rng.uniform() < self.plan.crash_rate)
+        if crash:
+            fraction = rng.uniform(CRASH_SPEND_LO, CRASH_SPEND_HI)
+            raise EngineCrashError(
+                "injected crash at call %d" % ordinal,
+                spent=fraction * spent)
+
+    def _drift(self, rng, outcome):
+        if rng.uniform() < self.plan.drift_rate:
+            outcome.spent *= rng.uniform(1.0, self.plan.drift_factor)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def execute(self, plan_info, budget):
+        rng, ordinal = self._draws()
+        self._pre_faults(rng, ordinal)
+        inner = self.base if self.base is not None \
+            else super(FaultyEngine, self)
+        outcome = inner.execute(plan_info, budget)
+        self._crash(rng, ordinal, outcome.spent)
+        return self._drift(rng, outcome)
+
+    def execute_spill(self, plan_info, epp, node, budget):
+        rng, ordinal = self._draws()
+        self._pre_faults(rng, ordinal)
+        inner = self.base if self.base is not None \
+            else super(FaultyEngine, self)
+        outcome = inner.execute_spill(plan_info, epp, node, budget)
+        self._crash(rng, ordinal, outcome.spent)
+        if rng.uniform() < self.plan.corruption_rate:
+            # Stale/garbage monitor readout: any index in [-1, res-1],
+            # independent of what the execution actually certified.
+            res = len(self.space.grid.values[outcome.dim])
+            outcome.learned_index = int(rng.integers(-1, res))
+        return self._drift(rng, outcome)

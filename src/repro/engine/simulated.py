@@ -19,6 +19,8 @@ The engine knows the true location; algorithms must only consume the
 returned outcomes (they receive learnt values, never ``qa`` itself).
 """
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.common.errors import DiscoveryError
@@ -26,6 +28,11 @@ from repro.common.errors import DiscoveryError
 #: Relative slack when comparing costs against budgets, absorbing float
 #: round-off from vectorised evaluation.
 BUDGET_EPS = 1e-9
+
+#: Default cap on cached subtree profiles per engine. Long sweeps (e.g.
+#: the fault-sweep experiment, which builds one engine per location per
+#: fault rate) would otherwise grow the cache without bound.
+SPILL_CACHE_CAP = 1024
 
 
 class RegularOutcome:
@@ -60,13 +67,15 @@ class SpillOutcome:
 class SimulatedEngine:
     """Budgeted/spilled plan execution against a hidden true location."""
 
-    def __init__(self, space, qa_index):
+    def __init__(self, space, qa_index, spill_cache_cap=SPILL_CACHE_CAP):
         self.space = space
         self.qa_index = tuple(int(i) for i in qa_index)
         if len(self.qa_index) != space.grid.dims:
             raise DiscoveryError("qa index dimensionality mismatch")
         self._truth = space.assignment_at(self.qa_index)
-        self._spill_cache = {}
+        #: LRU-bounded cache of subtree cost profiles.
+        self._spill_cache = OrderedDict()
+        self._spill_cache_cap = spill_cache_cap
 
     # ------------------------------------------------------------------
 
@@ -122,6 +131,7 @@ class SimulatedEngine:
         key = (plan_info.id, epp, node.node_id)
         cached = self._spill_cache.get(key)
         if cached is not None:
+            self._spill_cache.move_to_end(key)
             return cached
         dim = self.space.query.epp_index(epp)
         assignment = dict(self._truth)
@@ -130,4 +140,6 @@ class SimulatedEngine:
             self.space.cost_model.subtree_cost(node, assignment), dtype=float
         )
         self._spill_cache[key] = profile
+        while len(self._spill_cache) > self._spill_cache_cap:
+            self._spill_cache.popitem(last=False)
         return profile

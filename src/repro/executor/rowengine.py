@@ -100,13 +100,19 @@ class RowBackedEngine:
             sel = min(max(sel, values[0]), values[-1])
             learned = int(np.argmin(np.abs(np.log(values) - np.log(sel))))
             return SpillOutcome(True, result.spent, epp, dim, learned)
-        # Partial run: the observed output over the *model's* input
-        # cardinalities gives an approximate lower bound used only for
-        # progress reporting (contour jumps are driven by completion).
+        # Partial run: the abort-time observations carried by
+        # BudgetExhaustedError (threaded through RowRunResult.observed)
+        # give an approximate selectivity lower bound that discovery
+        # algorithms receive via ExecutionRecord.learned; contour jumps
+        # are still driven by completion.
         learned = -1
-        if monitor is not None and monitor.out_rows:
-            left_total = max(monitor.left_rows, 1)
-            right_total = max(monitor.right_rows, 1)
-            sel_lb = monitor.lower_bound(left_total, right_total)
+        observation = (result.observed or {}).get(node.node_id)
+        if observation is None and monitor is not None:
+            observation = (monitor.left_rows, monitor.right_rows,
+                           monitor.out_rows)
+        if observation is not None and observation[2]:
+            left_total = max(observation[0], 1)
+            right_total = max(observation[1], 1)
+            sel_lb = observation[2] / (float(left_total) * right_total)
             learned = self.space.grid.snap_down(dim, max(sel_lb, 1e-300))
         return SpillOutcome(False, result.spent, epp, dim, learned)

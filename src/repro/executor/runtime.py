@@ -33,19 +33,28 @@ from repro.plans.nodes import (
 
 
 class CostMeter:
-    """Accumulates cost units and enforces an optional budget."""
+    """Accumulates cost units and enforces an optional budget.
 
-    __slots__ = ("spent", "budget")
+    ``observer`` optionally supplies the selectivity observations made
+    up to the abort point, so the raised :class:`BudgetExhaustedError`
+    carries them to discovery algorithms (partial executions still teach
+    something).
+    """
 
-    def __init__(self, budget=None):
+    __slots__ = ("spent", "budget", "observer")
+
+    def __init__(self, budget=None, observer=None):
         self.spent = 0.0
         self.budget = budget
+        self.observer = observer
 
     def charge(self, units):
         self.spent += units
         if self.budget is not None and self.spent > self.budget:
+            observed = self.observer() if self.observer is not None else {}
             raise BudgetExhaustedError(
-                "budget %.4g exhausted" % self.budget, spent=self.spent
+                "budget %.4g exhausted" % self.budget,
+                observed=observed, spent=self.spent
             )
 
 
@@ -82,9 +91,11 @@ class JoinMonitor:
 class RowRunResult:
     """Outcome of one (possibly budget-aborted, possibly spilled) run."""
 
-    __slots__ = ("completed", "row_count", "spent", "monitors", "rows")
+    __slots__ = ("completed", "row_count", "spent", "monitors", "rows",
+                 "observed")
 
-    def __init__(self, completed, row_count, spent, monitors, rows=None):
+    def __init__(self, completed, row_count, spent, monitors, rows=None,
+                 observed=None):
         self.completed = completed
         self.row_count = row_count
         self.spent = spent
@@ -92,6 +103,10 @@ class RowRunResult:
         self.monitors = monitors
         #: Materialised output rows (only when ``keep_rows`` was set).
         self.rows = rows
+        #: ``{node_id: (left_rows, right_rows, out_rows)}`` snapshot
+        #: carried by :class:`BudgetExhaustedError` at the abort point
+        #: (``None`` for completed runs).
+        self.observed = observed
 
 
 class RowEngine:
@@ -118,8 +133,11 @@ class RowEngine:
         Returns a :class:`RowRunResult`; a budget abort is reported as
         ``completed=False`` with the partial monitors preserved.
         """
-        meter = CostMeter(budget)
         monitors = {}
+        meter = CostMeter(budget, observer=lambda: {
+            nid: (m.left_rows, m.right_rows, m.out_rows)
+            for nid, m in monitors.items()
+        })
         root = plan
         if spill_node_id is not None:
             root = _find(plan, spill_node_id)
@@ -131,8 +149,9 @@ class RowEngine:
                 if keep_rows:
                     out_rows.append(row)
             return RowRunResult(True, count, meter.spent, monitors, out_rows)
-        except BudgetExhaustedError:
-            return RowRunResult(False, count, meter.spent, monitors, out_rows)
+        except BudgetExhaustedError as exc:
+            return RowRunResult(False, count, meter.spent, monitors,
+                                out_rows, observed=exc.observed)
 
     def true_selectivity(self, plan, node_id):
         """True selectivity of the join at ``node_id`` (unbudgeted run)."""

@@ -55,17 +55,20 @@ def _match_indices(left_keys, right_keys):
 class _Meter:
     """Budget accounting shared with the row engine's semantics."""
 
-    __slots__ = ("spent", "budget")
+    __slots__ = ("spent", "budget", "observer")
 
-    def __init__(self, budget):
+    def __init__(self, budget, observer=None):
         self.spent = 0.0
         self.budget = budget
+        self.observer = observer
 
     def charge(self, units):
         self.spent += units
         if self.budget is not None and self.spent > self.budget:
+            observed = self.observer() if self.observer is not None else {}
             raise BudgetExhaustedError(
-                "budget %.4g exhausted" % self.budget, spent=self.spent)
+                "budget %.4g exhausted" % self.budget,
+                observed=observed, spent=self.spent)
 
 
 class VectorEngine:
@@ -80,8 +83,11 @@ class VectorEngine:
 
     def run(self, plan, budget=None, spill_node_id=None, keep_rows=False):
         """Execute ``plan`` (optionally truncated at a spill node)."""
-        meter = _Meter(budget)
         monitors = {}
+        meter = _Meter(budget, observer=lambda: {
+            nid: (m.left_rows, m.right_rows, m.out_rows)
+            for nid, m in monitors.items()
+        })
         root = plan
         if spill_node_id is not None:
             root = _find(plan, spill_node_id)
@@ -96,8 +102,9 @@ class VectorEngine:
                     for i in range(count)
                 ]
             return RowRunResult(True, count, meter.spent, monitors, rows)
-        except BudgetExhaustedError:
-            return RowRunResult(False, 0, meter.spent, monitors, None)
+        except BudgetExhaustedError as exc:
+            return RowRunResult(False, 0, meter.spent, monitors, None,
+                                observed=exc.observed)
 
     def true_selectivity(self, plan, node_id):
         """True selectivity of the join at ``node_id`` (unbudgeted)."""

@@ -491,6 +491,87 @@ def ablation_cost_error(name="2D_Q91", deltas=(0.0, 0.1, 0.3, 0.5),
     return report
 
 
+def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
+                resolution=None, sweep_sample=64, rng=0, fault_seed=23,
+                max_retries=3):
+    """Robustness ablation: MSO degradation vs. substrate fault rate.
+
+    Mirrors the §7 delta-sweep, but the imperfection swept is the
+    *execution substrate* rather than the cost model: a
+    :class:`~repro.engine.faulty.FaultyEngine` injects crashes at
+    ``rate`` plus transients / monitor corruption / meter drift at half
+    that, and a :class:`~repro.robustness.guard.DiscoveryGuard` drives
+    SpillBound to a terminating answer at every sampled location. The
+    table reports how the empirical MSO/ASO, degradation share, retry
+    count and wasted spend grow with the fault rate.
+    """
+    from repro.engine.faulty import FaultPlan, FaultyEngine
+    from repro.robustness import DiscoveryGuard, RetryPolicy
+
+    space = build_space(workload(name), resolution=resolution)
+    contours = ContourSet(space)
+    guard = DiscoveryGuard(
+        SpillBound(space, contours),
+        policy=RetryPolicy(max_retries=max_retries),
+    )
+    grid = space.grid
+    if sweep_sample is not None and sweep_sample < grid.size:
+        flats = np.random.default_rng(rng).choice(
+            grid.size, size=sweep_sample, replace=False)
+    else:
+        flats = np.arange(grid.size)
+
+    report = Report("Fault sweep: %s under an unreliable substrate (%s)"
+                    % (guard.name, name))
+    rows = []
+    worst = []
+    for rate in rates:
+        subopts = []
+        degraded = 0
+        retries = 0
+        wasted = 0.0
+        answered = 0.0
+        for flat in flats:
+            qa = grid.unflat(int(flat))
+            plan = FaultPlan(
+                crash_rate=rate,
+                transient_rate=rate / 2.0,
+                corruption_rate=rate / 2.0,
+                drift_rate=rate / 2.0,
+                seed=fault_seed + 997 * int(flat),
+            )
+            engine = FaultyEngine(space, qa, plan=plan)
+            result = guard.run(qa, engine=engine)
+            subopts.append(result.sub_optimality)
+            extras = result.extras
+            degraded += bool(extras.get("degraded"))
+            retries += int(extras.get("retries", 0))
+            wasted += float(extras.get("wasted_cost", 0.0))
+            answered += result.total_cost
+            if rate == rates[-1] and len(worst) < 5:
+                worst.append(("qa=%s" % (qa,), extras))
+        n = len(subopts)
+        spend = answered + wasted
+        rows.append((
+            rate,
+            max(subopts),
+            sum(subopts) / n,
+            100.0 * degraded / n,
+            retries / n,
+            100.0 * wasted / spend if spend else 0.0,
+        ))
+    report.add_table(
+        "Guarded SpillBound vs fault rate (%d locations)" % len(flats),
+        ["crash rate", "MSOe", "ASO", "degraded %", "retries/run",
+         "wasted %"],
+        rows,
+    )
+    report.add_degradation(
+        "Degradation accounting, sample runs at crash rate %g"
+        % rates[-1], worst)
+    return report
+
+
 def ab_average_case(names=PAPER_SUITE, resolution=None,
                     sweep_sample=None, rng=0):
     """AB vs SB on ASO and distribution (the §6.4 analyses the paper

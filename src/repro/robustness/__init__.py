@@ -1,0 +1,14 @@
+"""Graceful degradation layer for discovery runs.
+
+The guarantees of §4-§5 are proven under a flawless execution substrate.
+This subsystem makes discovery *survive* a faulty one: a
+:class:`DiscoveryGuard` drives any :class:`RobustAlgorithm` under a
+bounded retry policy, validates run-time invariants, resumes crashed
+runs from a :class:`DiscoveryCheckpoint`, and -- when all else fails --
+degrades gracefully to the native-optimizer path instead of raising.
+"""
+
+from repro.robustness.checkpoint import DiscoveryCheckpoint
+from repro.robustness.guard import DiscoveryGuard, RetryPolicy
+
+__all__ = ["DiscoveryCheckpoint", "DiscoveryGuard", "RetryPolicy"]

@@ -1,0 +1,131 @@
+"""Discovery-state checkpointing for crash-resumable runs.
+
+Everything a contour-based discovery algorithm has *certified* about the
+hidden truth -- exact selectivities, lower-bound indices, the contour it
+has reached, which (contour, epp) spill executions already ran -- is
+engine-independent fact: an execution that certified ``qa.j > q.j``
+stays certified after a crash. :class:`DiscoveryCheckpoint` snapshots
+that state as the run progresses, so a retried run resumes discovery
+from the crash contour instead of re-learning from contour 1, and never
+re-executes a completed contour.
+
+Checkpoints are passive: capturing them never alters the execution
+sequence, which is what lets the guard promise byte-identical behaviour
+when no faults fire. They serialise to JSON for cross-process resume.
+"""
+
+import json
+
+
+class DiscoveryCheckpoint:
+    """Resumable snapshot of one discovery run's certified knowledge.
+
+    ``path`` optionally persists every capture to a JSON file, enabling
+    resume across processes (a killed CLI run picks up where it died).
+    """
+
+    __slots__ = ("path", "active", "contour", "resolved", "qrun",
+                 "remaining", "executed", "captures")
+
+    def __init__(self, path=None):
+        self.path = path
+        self.clear()
+
+    def clear(self):
+        """Forget everything (used when captured state may be poisoned)."""
+        self.active = False
+        self.contour = 0
+        #: dim -> exactly learnt grid index.
+        self.resolved = {}
+        #: Inclusive lower-bound grid indices per dimension.
+        self.qrun = None
+        #: Unresolved epp names (``None`` = algorithm keeps no EPP state).
+        self.remaining = None
+        #: (contour, epp) spill executions already issued.
+        self.executed = set()
+        #: Number of captures taken (diagnostics).
+        self.captures = 0
+
+    # ------------------------------------------------------------------
+
+    def capture(self, contour, resolved=None, qrun=None, remaining=None,
+                executed=None):
+        """Record progress; called by algorithms at every state change."""
+        self.active = True
+        self.contour = max(int(contour), 0)
+        if resolved is not None:
+            self.resolved = dict(resolved)
+        if qrun is not None:
+            self.qrun = list(qrun)
+        if remaining is not None:
+            self.remaining = set(remaining)
+        if executed is not None:
+            self.executed = set(executed)
+        self.captures += 1
+        if self.path is not None:
+            self.save(self.path)
+
+    def restore(self, state):
+        """Load captured knowledge into a ``_DiscoveryState``; returns
+        the contour to resume from."""
+        if self.resolved:
+            state.resolved.update(self.resolved)
+        if self.qrun is not None:
+            for dim, bound in enumerate(self.qrun):
+                state.qrun[dim] = max(state.qrun[dim], int(bound))
+        if self.remaining is not None:
+            state.remaining = set(self.remaining)
+        if self.executed:
+            state.executed |= set(self.executed)
+        return self.contour
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "active": self.active,
+            "contour": self.contour,
+            "resolved": {str(d): int(i) for d, i in self.resolved.items()},
+            "qrun": None if self.qrun is None else [int(b) for b in self.qrun],
+            "remaining": None if self.remaining is None
+            else sorted(self.remaining),
+            "executed": sorted([int(c), e] for c, e in self.executed),
+            "captures": self.captures,
+        }
+
+    @classmethod
+    def from_dict(cls, payload, path=None):
+        checkpoint = cls(path=None)
+        checkpoint.active = bool(payload.get("active", False))
+        checkpoint.contour = int(payload.get("contour", 0))
+        checkpoint.resolved = {
+            int(d): int(i)
+            for d, i in (payload.get("resolved") or {}).items()
+        }
+        qrun = payload.get("qrun")
+        checkpoint.qrun = None if qrun is None else [int(b) for b in qrun]
+        remaining = payload.get("remaining")
+        checkpoint.remaining = None if remaining is None else set(remaining)
+        checkpoint.executed = {
+            (int(c), e) for c, e in payload.get("executed", [])
+        }
+        checkpoint.captures = int(payload.get("captures", 0))
+        checkpoint.path = path
+        return checkpoint
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls.from_dict(payload, path=path)
+
+    def __repr__(self):
+        if not self.active:
+            return "DiscoveryCheckpoint(inactive)"
+        return "DiscoveryCheckpoint(contour=%d, resolved=%r, qrun=%r)" % (
+            self.contour, self.resolved, self.qrun
+        )

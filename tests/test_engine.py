@@ -83,6 +83,45 @@ class TestSpillExecution:
         b = engine._subtree_profile(plan, epp, node)
         assert a is b
 
+    def _distinct_spill_parts(self, toy_space, count):
+        parts = []
+        seen = set()
+        epps = set(toy_space.query.epps)
+        for plan in toy_space.plans:
+            target = plan.spill_target(epps)
+            if target is None:
+                continue
+            epp, node = target
+            key = (plan.id, epp, node.node_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            parts.append((plan, epp, node))
+            if len(parts) == count:
+                break
+        return parts
+
+    def test_spill_cache_bounded(self, toy_space):
+        engine = SimulatedEngine(toy_space, (3, 3), spill_cache_cap=2)
+        parts = self._distinct_spill_parts(toy_space, 4)
+        assert len(parts) >= 3
+        for plan, epp, node in parts:
+            engine._subtree_profile(plan, epp, node)
+            assert len(engine._spill_cache) <= 2
+
+    def test_spill_cache_evicts_least_recently_used(self, toy_space):
+        engine = SimulatedEngine(toy_space, (3, 3), spill_cache_cap=2)
+        parts = self._distinct_spill_parts(toy_space, 3)
+        assert len(parts) == 3
+        first = engine._subtree_profile(*parts[0])
+        engine._subtree_profile(*parts[1])
+        # Touch the first entry so the *second* becomes the LRU victim.
+        assert engine._subtree_profile(*parts[0]) is first
+        engine._subtree_profile(*parts[2])
+        assert engine._subtree_profile(*parts[0]) is first
+        assert (parts[1][0].id, parts[1][1], parts[1][2].node_id) \
+            not in engine._spill_cache
+
     def test_spill_cheaper_than_full(self, toy_space):
         """Subtree cost never exceeds the full plan cost (spilling only
         discards downstream work)."""
@@ -91,6 +130,27 @@ class TestSpillExecution:
         plan, (epp, node) = self._spill_parts(toy_space, qa)
         outcome = engine.execute_spill(plan, epp, node, float("inf"))
         assert outcome.spent <= engine.true_cost(plan) * (1 + 1e-9)
+
+    def test_nothing_learned_is_minus_one(self, toy_space):
+        """Regression: a failed spill whose budget undercuts even the
+        smallest subtree cost reports ``learned_index == -1`` ("nothing
+        learned"), never a wrapped-around last grid index."""
+        qa = (12, 12)
+        engine = SimulatedEngine(toy_space, qa)
+        plan, (epp, node) = self._spill_parts(toy_space, qa)
+        profile = engine._subtree_profile(plan, epp, node)
+        outcome = engine.execute_spill(
+            plan, epp, node, float(profile[0]) * 0.5)
+        assert not outcome.completed
+        assert outcome.learned_index == -1
+
+    def test_learn_bound_tolerates_minus_one(self, toy_space):
+        """``learn_bound(dim, -1)`` must be a no-op (lower bound stays at
+        grid index 0), not an off-by-one or a negative index."""
+        from repro.algorithms.spillbound import _DiscoveryState
+        state = _DiscoveryState(toy_space)
+        state.learn_bound(0, -1)
+        assert state.qrun == [0] * toy_space.grid.dims
 
     def test_lemma_3_1(self, toy_space, toy_contours):
         """Executing the contour plan with the contour budget either

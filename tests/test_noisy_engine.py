@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.algorithms.alignedbound import AlignedBound
+from repro.algorithms.planbouquet import PlanBouquet
 from repro.algorithms.spillbound import SpillBound
 from repro.engine.noisy import NoisyEngine, inflated_guarantee
 from repro.metrics.mso import exhaustive_sweep
@@ -61,6 +63,28 @@ class TestGuaranteeUnderNoise:
         )
         assert sweep.mso <= inflated_guarantee(
             sb.mso_guarantee(), delta) + 1e-6
+
+    @pytest.mark.parametrize("algorithm_cls",
+                             [PlanBouquet, SpillBound, AlignedBound])
+    def test_every_guarantee_inflates_by_delta_squared(
+            self, toy_space, toy_contours, algorithm_cls):
+        """§7 across the whole algorithm family and a seed sweep: under
+        delta-bounded cost error, each empirical MSO stays within
+        ``(1+delta)^2`` of that algorithm's nominal guarantee."""
+        delta = 0.3
+        algorithm = algorithm_cls(toy_space, toy_contours)
+        bound = inflated_guarantee(algorithm.mso_guarantee(), delta)
+        for seed in (1, 2, 3):
+            sweep = exhaustive_sweep(
+                algorithm,
+                sample=60,
+                rng=seed,
+                engine_factory=lambda qa, s=seed: NoisyEngine(
+                    toy_space, qa, delta=delta, seed=s),
+            )
+            assert sweep.mso <= bound + 1e-6, \
+                "seed %d: MSOe %.3f exceeds inflated bound %.3f" % (
+                    seed, sweep.mso, bound)
 
     def test_noise_changes_outcomes(self, toy_space, toy_contours):
         sb = SpillBound(toy_space, toy_contours)

@@ -90,3 +90,68 @@ class TestRowBackedDiscovery:
             if record.mode == "spill" and record.completed:
                 dim = space.query.epp_index(record.epp)
                 assert abs(record.learned - engine.qa_index[dim]) <= 1
+
+
+class TestObservedThreading:
+    """Abort-time monitor snapshots ride on BudgetExhaustedError so a
+    budget-killed execution still teaches a selectivity bound."""
+
+    def test_meter_raise_carries_observations(self):
+        from repro.common.errors import BudgetExhaustedError
+        from repro.executor.runtime import CostMeter
+
+        meter = CostMeter(budget=1.0, observer=lambda: {7: (10, 20, 5)})
+        with pytest.raises(BudgetExhaustedError) as info:
+            meter.charge(2.0)
+        assert info.value.observed == {7: (10, 20, 5)}
+        assert info.value.spent == 2.0
+
+    def _spill_parts(self, space):
+        plan = space.optimal_plan((0,) * space.grid.dims)
+        target = plan.spill_target(set(space.query.epps))
+        assert target is not None
+        return plan, target
+
+    def test_aborted_run_reports_observed(self, row_setup):
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=0.0)
+        plan, (_epp, node) = self._spill_parts(space)
+        full = engine.row_engine.run(
+            plan.tree, budget=None, spill_node_id=node.node_id)
+        partial = engine.row_engine.run(
+            plan.tree, budget=full.spent * 0.75,
+            spill_node_id=node.node_id)
+        assert not partial.completed
+        assert partial.observed is not None
+        assert node.node_id in partial.observed
+        assert full.observed is None
+
+    def test_partial_spill_learns_from_abort_snapshot(self, row_setup):
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=0.0)
+        plan, (epp, node) = self._spill_parts(space)
+        full = engine.execute_spill(plan, epp, node, float("inf"))
+        assert full.completed
+        partial = engine.execute_spill(plan, epp, node, full.spent * 0.75)
+        assert not partial.completed
+        dim = space.query.epp_index(epp)
+        res = len(space.grid.values[dim])
+        # The abort snapshot has seen join output by 75% of the full
+        # cost, so the adapter derives a bound instead of learning
+        # nothing; ExecutionRecord.learned stays a valid grid index.
+        assert 0 <= partial.learned_index < res
+
+    def test_vectorized_backend_also_observes(self, row_setup):
+        from repro.executor.vectorized import VectorEngine
+
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=0.0,
+                                 executor_cls=VectorEngine)
+        plan, (_epp, node) = self._spill_parts(space)
+        full = engine.row_engine.run(
+            plan.tree, budget=None, spill_node_id=node.node_id)
+        partial = engine.row_engine.run(
+            plan.tree, budget=full.spent * 0.75,
+            spill_node_id=node.node_id)
+        assert not partial.completed
+        assert partial.observed is not None
