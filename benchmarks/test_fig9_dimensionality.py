@@ -8,21 +8,18 @@ from conftest import BENCH_RESOLUTION, emit, run_once
 
 from repro.harness import experiments as exp
 from repro.harness.workloads import q91_dimensional_ramp
-from repro.algorithms.planbouquet import PlanBouquet
-from repro.algorithms.spillbound import SpillBound
-from repro.ess.contours import ContourSet
-from repro.harness.workloads import build_space
+from repro.session import SweepDriver, default_session
 
 
 def test_fig9_dimensionality(benchmark):
     def driver():
         rows = []
         for query in q91_dimensional_ramp():
-            space = build_space(
-                query, resolution=BENCH_RESOLUTION[query.dimensions])
-            contours = ContourSet(space)
-            pb = PlanBouquet(space, contours)
-            sb = SpillBound(space, contours)
+            sweeper = SweepDriver(
+                default_session(),
+                resolution=BENCH_RESOLUTION[query.dimensions])
+            pb = sweeper.algorithm("planbouquet", query)
+            sb = sweeper.algorithm("spillbound", query)
             rows.append((query.dimensions, pb.mso_guarantee(),
                          sb.mso_guarantee()))
         report = exp.Report("Fig. 9: MSOg vs dimensionality (Q91)")

@@ -17,19 +17,20 @@ from repro.cost.model import CostModel
 from repro.ess.contours import ContourSet
 from repro.ess.space import ExplorationSpace
 from repro.executor.runtime import RowEngine
-from repro.harness.workloads import build_space, workload
+from repro.harness.workloads import workload
 from repro.optimizer.dp import Optimizer
 from repro.query.query import Query, make_join
+from repro.session import default_session
 
 
 @pytest.fixture(scope="module")
 def q91_4d_space():
-    return build_space(workload("4D_Q91"), resolution=10)
+    return default_session().space("4D_Q91", resolution=10)
 
 
 @pytest.fixture(scope="module")
 def q91_4d_contours(q91_4d_space):
-    return ContourSet(q91_4d_space)
+    return default_session().contours("4D_Q91", resolution=10)
 
 
 def test_optimizer_dp_call(benchmark):

@@ -9,12 +9,8 @@ truths.
 import numpy as np
 from conftest import emit, resolution_for, run_once
 
-from repro.algorithms.planbouquet import PlanBouquet
-from repro.algorithms.randomized import RandomizedPlanBouquet
-from repro.ess.contours import ContourSet
 from repro.harness import experiments as exp
-from repro.harness.workloads import build_space, workload
-from repro.metrics.mso import exhaustive_sweep
+from repro.session import SweepDriver, default_session
 
 NAMES = ("2D_Q91", "3D_Q15", "4D_Q91")
 
@@ -23,15 +19,17 @@ def test_randomized_planbouquet(benchmark):
     def driver():
         rows = []
         for name in NAMES:
-            space = build_space(workload(name),
-                                resolution=resolution_for(name))
-            contours = ContourSet(space)
-            det = exhaustive_sweep(PlanBouquet(space, contours))
+            sweeper = SweepDriver(default_session(),
+                                  resolution=resolution_for(name))
+            det = next(sweeper.run([name], ("planbouquet",))).sweep
             rand_msos = []
             rand_asos = []
             for seed in range(3):
-                sweep = exhaustive_sweep(RandomizedPlanBouquet(
-                    space, contours, seed=seed))
+                space, contours = sweeper.artifacts(name)
+                algorithm = default_session().algorithm(
+                    "randomized", space=space, contours=contours,
+                    seed=seed)
+                sweep = next(sweeper.run([name], (algorithm,))).sweep
                 rand_msos.append(sweep.mso)
                 rand_asos.append(sweep.aso)
             rows.append((
@@ -50,7 +48,6 @@ def test_randomized_planbouquet(benchmark):
     emit(report, "randomized_pb.txt")
     for name, _det_mso, det_aso, rand_mso, rand_aso in \
             report.tables[0][2]:
-        d = int(name.split("D_")[0])
         # Worst-case guarantee is unaffected by ordering.
         assert rand_mso <= 4 * 1.2 * 20  # loose sanity ceiling
         # Averaged over seeds, randomization is not materially worse.

@@ -7,13 +7,9 @@ the same as on TPC-DS: all bounds hold, SB at or below PB empirically.
 
 from conftest import emit, run_once
 
-from repro.algorithms.planbouquet import PlanBouquet
-from repro.algorithms.spillbound import SpillBound
-from repro.ess.contours import ContourSet
-from repro.ess.space import ExplorationSpace
 from repro.harness import experiments as exp
 from repro.harness.tpch_workloads import TPCH_SUITE, tpch_workload
-from repro.metrics.mso import exhaustive_sweep
+from repro.session import SweepDriver, default_session
 
 RESOLUTIONS = {2: 32, 3: 14, 4: 9}
 
@@ -23,18 +19,16 @@ def test_tpch_suite(benchmark):
         rows = []
         for name in TPCH_SUITE:
             query = tpch_workload(name)
-            space = ExplorationSpace(
-                query, resolution=RESOLUTIONS[query.dimensions])
-            space.build(mode="fast", rng=0)
-            contours = ContourSet(space)
-            pb = PlanBouquet(space, contours)
-            sb = SpillBound(space, contours)
-            pb_sweep = exhaustive_sweep(pb)
-            sb_sweep = exhaustive_sweep(sb)
+            sweeper = SweepDriver(
+                default_session(),
+                resolution=RESOLUTIONS[query.dimensions])
+            cells = sweeper.grid(
+                [query], ("planbouquet", "spillbound"))[query.name]
+            pb, sb = cells["planbouquet"], cells["spillbound"]
             rows.append((
                 name, query.dimensions,
-                pb.mso_guarantee(), sb.mso_guarantee(),
-                pb_sweep.mso, sb_sweep.mso,
+                pb.instance.mso_guarantee(), sb.instance.mso_guarantee(),
+                pb.mso, sb.mso,
             ))
         report = exp.Report("Extension: TPC-H bonus suite")
         report.add_table(

@@ -7,9 +7,12 @@ estimate-then-execute baseline blows up. Our catalog, data and meter
 differ, so only the ordering and rough magnitudes are asserted.
 """
 
+import time
+
 from conftest import emit, run_once
 
 from repro.harness import experiments as exp
+from repro.session import RobustSession
 
 
 def test_wallclock_experiment(benchmark):
@@ -18,6 +21,17 @@ def test_wallclock_experiment(benchmark):
         lambda: exp.wallclock_experiment(rng=11, resolution=12,
                                          delta=1.0),
     )
+    session = RobustSession()
+    cold_start = time.perf_counter()
+    session.space_and_contours("3D_Q15")
+    cold = time.perf_counter() - cold_start
+    warm_start = time.perf_counter()
+    session.space_and_contours("3D_Q15")
+    warm = time.perf_counter() - warm_start
+    report.add_note(
+        "cache effectiveness: 3D_Q15 space+contours cold %.3fs, warm "
+        "%.2gs (%.0fx); %s" % (cold, warm, cold / warm,
+                               session.stats.describe()))
     emit(report, "wallclock.txt")
     rows = {name: (cost, subopt) for name, cost, subopt, _n
             in report.tables[0][2]}
@@ -32,3 +46,23 @@ def test_wallclock_experiment(benchmark):
     # (it was killed at the cap if the string says so).
     native_cost = rows["native"][0]
     assert native_cost > rows["spillbound"][0]
+
+
+def test_warm_session_cache_speedup(benchmark):
+    """Second construction of a paper-suite query's space+contours
+    through the session is at least 10x faster than the first."""
+    session = RobustSession()
+
+    def cold():
+        return session.space_and_contours("4D_Q91", resolution=10)
+
+    start = time.perf_counter()
+    space, contours = cold()
+    cold_elapsed = time.perf_counter() - start
+    warm_space, warm_contours = benchmark(cold)
+    assert warm_space is space and warm_contours is contours
+    start = time.perf_counter()
+    cold()
+    warm_elapsed = max(time.perf_counter() - start, 1e-9)
+    assert cold_elapsed / warm_elapsed >= 10.0
+    assert session.stats.builds == 1

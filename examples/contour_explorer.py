@@ -18,15 +18,15 @@ import sys
 
 import numpy as np
 
-from repro import ContourSet, build_space, workload
+from repro import RobustSession
 from repro.algorithms.alignment import analyse_alignment
 from repro.common.reporting import format_table
 
 
 def main(name="2D_Q91", resolution=32):
-    query = workload(name)
-    space = build_space(query, resolution=resolution)
-    contours = ContourSet(space)
+    space, contours = RobustSession(
+        resolution=resolution).space_and_contours(name)
+    query = space.query
 
     print("=== %s over grid %s ===" % (query.name, space.grid.shape))
     print("POSP cardinality: %d plans" % space.posp_size())

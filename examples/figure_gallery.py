@@ -18,13 +18,7 @@ Run:
 
 import os
 
-from repro import (
-    ContourSet,
-    SpillBound,
-    build_space,
-    textbook_space,
-    workload,
-)
+from repro import RobustSession, textbook_space
 from repro.viz import (
     ascii_contour_map,
     ascii_plan_diagram,
@@ -40,9 +34,9 @@ def main():
     os.makedirs(OUTPUT_DIR, exist_ok=True)
 
     # Real workload: TPC-DS Q91 with two error-prone joins.
-    space = build_space(workload("2D_Q91"), resolution=40)
-    contours = ContourSet(space)
-    sb = SpillBound(space, contours)
+    session = RobustSession(resolution=40)
+    space, contours = session.space_and_contours("2D_Q91")
+    sb = session.algorithm("spillbound", space=space, contours=contours)
     result = sb.run((30, 34))
 
     render_plan_diagram_svg(
@@ -58,9 +52,10 @@ def main():
     print("\n2D_Q91 contour map (digits = contour level):\n")
     print(ascii_contour_map(space, contours))
 
-    # Synthetic textbook geometry (Fig. 2's idealised shapes).
+    # Synthetic textbook geometry (Fig. 2's idealised shapes); contours
+    # for a space built outside the session go through contours_for.
     synthetic = textbook_space(resolution=40)
-    synthetic_contours = ContourSet(synthetic)
+    synthetic_contours = session.contours_for(synthetic)
     render_plan_diagram_svg(
         synthetic,
         path=os.path.join(OUTPUT_DIR, "textbook_plan_diagram.svg"),

@@ -12,7 +12,7 @@ Run:
 
 import numpy as np
 
-from repro import ContourSet, SpillBound, build_space, workload
+from repro import RobustSession
 from repro.harness.experiments import table3_trace
 
 
@@ -38,10 +38,10 @@ def ascii_contour_map(space, contours, trace_points, width=64):
 def main():
     # The paper's Fig. 7 uses Q91 with two epps (date join x address
     # join); the drill-down Table 3 uses four.
-    query = workload("2D_Q91")
-    space = build_space(query, resolution=40)
-    contours = ContourSet(space)
-    sb = SpillBound(space, contours)
+    session = RobustSession(resolution=40)
+    space, contours = session.space_and_contours("2D_Q91")
+    query = space.query
+    sb = session.algorithm("spillbound", space=space, contours=contours)
 
     qa = (30, 34)
     result = sb.run(qa)

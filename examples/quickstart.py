@@ -1,72 +1,50 @@
 #!/usr/bin/env python
 """Quickstart: robust processing of one TPC-DS query, end to end.
 
-Builds the error-prone selectivity space for TPC-DS Q91 with two
-error-prone join predicates, draws the doubling iso-cost contours, and
-compares how the native optimizer, PlanBouquet, SpillBound and
-AlignedBound cope when the true selectivities are far from the
-estimates.
+One :class:`repro.RobustSession` call per artifact: the session builds
+(and caches) the error-prone selectivity space for TPC-DS Q91, draws
+the doubling iso-cost contours, and compares how the native optimizer,
+PlanBouquet, SpillBound and AlignedBound cope when the true
+selectivities are far from the estimates.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    AlignedBound,
-    ContourSet,
-    NativeOptimizer,
-    Oracle,
-    PlanBouquet,
-    SpillBound,
-    build_space,
-    workload,
-)
+from repro import RobustSession
 from repro.common.reporting import format_table
 
 
 def main():
-    # 1. A benchmark query: TPC-DS Q91 with the paper's two error-prone
-    #    join predicates (catalog_returns x date_dim, customer x
-    #    customer_address).
-    query = workload("2D_Q91")
+    session = RobustSession(resolution=32)
+    space, contours = session.space_and_contours("2D_Q91")
+    query = space.query
     print("Query: %s  (D = %d epps: %s)" % (
         query.name, query.dimensions, ", ".join(query.epps)))
+    print("ESS grid %s, %d POSP plans, %d iso-cost contours\n" % (
+        space.grid.shape, space.posp_size(), len(contours)))
 
-    # 2. The exploration space: POSP plans + optimal cost surface over a
-    #    log-spaced selectivity grid (one optimizer call per seed, then
-    #    vectorised plan costing).
-    space = build_space(query, resolution=32)
-    print("ESS grid %s, %d POSP plans, cost range [%.3g, %.3g]" % (
-        space.grid.shape, space.posp_size(), space.c_min, space.c_max))
-
-    # 3. Doubling iso-cost contours (the discovery ladder).
-    contours = ContourSet(space)
-    print("%d iso-cost contours\n" % len(contours))
-
-    # 4. The MSO guarantees are known before executing anything:
-    pb = PlanBouquet(space, contours)
-    sb = SpillBound(space, contours)
-    ab = AlignedBound(space, contours)
+    # The MSO guarantees are known before executing anything:
+    pb, sb, ab = (session.algorithm(name, "2D_Q91")
+                  for name in ("planbouquet", "spillbound", "alignedbound"))
     print("MSO guarantees: PB = %.1f (behavioral), SB = %.0f, "
           "AB in [%.0f, %.0f] (structural)\n" % (
               pb.mso_guarantee(), sb.mso_guarantee(),
               ab.mso_lower_guarantee(), ab.mso_guarantee()))
 
-    # 5. Pretend the optimizer's estimates are wildly wrong: the true
-    #    selectivities sit in the upper-right of the space.
+    # Pretend the optimizer's estimates are wildly wrong: the true
+    # selectivities sit in the upper-right of the space.
     qa = (26, 22)
     truth = space.assignment_at(qa)
     print("Hidden truth qa = %s -> %s" % (
         qa, {k: "%.3g" % v for k, v in truth.items()}))
 
-    rows = []
-    for algorithm in (Oracle(space), NativeOptimizer(space), pb, sb, ab):
-        result = algorithm.run(qa)
-        rows.append((
-            algorithm.name,
-            result.sub_optimality,
-            result.num_executions,
-        ))
+    rows = [
+        (name, result.sub_optimality, result.num_executions)
+        for name in ("oracle", "native", "planbouquet", "spillbound",
+                     "alignedbound")
+        for result in [session.run("2D_Q91", qa, algorithm=name)]
+    ]
     print()
     print(format_table(
         ["algorithm", "sub-optimality", "budgeted executions"], rows,

@@ -12,15 +12,7 @@ Run:
 
 import sys
 
-from repro import (
-    AlignedBound,
-    ContourSet,
-    PlanBouquet,
-    SpillBound,
-    build_space,
-    exhaustive_sweep,
-    workload,
-)
+from repro import RobustSession, SweepDriver
 from repro.common.reporting import format_table
 
 #: Queries and grid resolutions (keep the study a few minutes long).
@@ -38,23 +30,21 @@ QUICK = STUDY[:3]
 
 
 def main(quick=False):
+    session = RobustSession()
     rows = []
     for name, resolution in (QUICK if quick else STUDY):
-        query = workload(name)
-        space = build_space(query, resolution=resolution)
-        contours = ContourSet(space)
-        pb = PlanBouquet(space, contours)
-        sb = SpillBound(space, contours)
-        ab = AlignedBound(space, contours)
-        pb_sweep = exhaustive_sweep(pb)
-        sb_sweep = exhaustive_sweep(sb)
-        ab_sweep = exhaustive_sweep(ab)
+        driver = SweepDriver(session, resolution=resolution)
+        cells = driver.grid(
+            [name], ("planbouquet", "spillbound", "alignedbound"))[name]
+        pb, sb, ab = (cells[a] for a in
+                      ("planbouquet", "spillbound", "alignedbound"))
         rows.append((
             name,
-            pb.mso_guarantee(), sb.mso_guarantee(),
-            pb_sweep.mso, sb_sweep.mso, ab_sweep.mso,
-            pb_sweep.aso, sb_sweep.aso, ab_sweep.aso,
+            pb.instance.mso_guarantee(), sb.instance.mso_guarantee(),
+            pb.mso, sb.mso, ab.mso,
+            pb.aso, sb.aso, ab.aso,
         ))
+        space = pb.instance.space
         print("done %s (grid %s, %d locations)" % (
             name, space.grid.shape, space.grid.size))
 

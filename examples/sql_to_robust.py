@@ -11,13 +11,7 @@ Run:
     python examples/sql_to_robust.py
 """
 
-from repro import (
-    ContourSet,
-    SpillBound,
-    build_space,
-    rank_epps,
-    tpcds_catalog,
-)
+from repro import RobustSession, rank_epps, tpcds_catalog
 from repro.harness.epp_selection import declare_epps
 from repro.metrics.analysis import RunBreakdown
 from repro.common.reporting import format_table
@@ -57,10 +51,9 @@ def main():
               robust_query.dimensions ** 2 + 3 * robust_query.dimensions))
 
     # 3. Build the space and process at a hostile truth.
-    space = build_space(robust_query, resolution=14)
-    contours = ContourSet(space)
-    sb = SpillBound(space, contours)
-    qa = tuple(int(r * 0.8) for r in space.grid.shape)
+    session = RobustSession(resolution=14)
+    sb = session.algorithm("spillbound", robust_query)
+    qa = tuple(int(r * 0.8) for r in sb.space.grid.shape)
     result = sb.run(qa)
     print("\nDiscovery at hidden truth %s: sub-optimality %.2f over %d "
           "budgeted executions." % (qa, result.sub_optimality,

@@ -10,15 +10,12 @@ simulated engine and a row-level iterator executor.
 
 Quickstart::
 
-    from repro import (
-        workload, build_space, ContourSet, SpillBound, exhaustive_sweep,
-    )
+    from repro import RobustSession
 
-    query = workload("2D_Q91")          # TPC-DS Q91, 2 error-prone joins
-    space = build_space(query)          # POSP + optimal cost surface
-    sb = SpillBound(space)              # MSO <= D^2 + 3D, by inspection
-    print(sb.mso_guarantee())           # 10.0
-    print(exhaustive_sweep(sb).mso)     # empirical MSO over the ESS
+    session = RobustSession()           # one pipeline, cached artifacts
+    sb = session.algorithm("spillbound", "2D_Q91")  # TPC-DS Q91
+    print(sb.mso_guarantee())           # 10.0 (D^2 + 3D, by inspection)
+    print(session.sweep("2D_Q91", sb).mso)  # empirical MSO over the ESS
 """
 
 from repro.algorithms import (
@@ -66,6 +63,13 @@ from repro.metrics import exhaustive_sweep
 from repro.optimizer import Optimizer
 from repro.query import FilterPredicate, JoinPredicate, Query
 from repro.query.parser import parse_query
+from repro.session import (
+    EngineSpec,
+    RobustSession,
+    SweepDriver,
+    default_session,
+    set_default_session,
+)
 
 __version__ = "1.0.0"
 
@@ -115,6 +119,12 @@ __all__ = [
     "RowEngine",
     "RowBackedEngine",
     "NoisyEngine",
+    # session layer
+    "RobustSession",
+    "EngineSpec",
+    "SweepDriver",
+    "default_session",
+    "set_default_session",
     # harness
     "workload",
     "paper_suite",

@@ -9,9 +9,11 @@ Commands
     known from the query alone, the paper's headline property).
 ``run WORKLOAD --qa i,j,...``
     Simulate one discovery run at a hidden truth and print the trace.
-    With ``--faults SPEC`` the run executes on a fault-injecting engine
-    under a graceful-degradation guard and also prints the guard's
-    degradation accounting.
+    ``--engine SPEC`` swaps the execution environment declaratively
+    (e.g. ``simulated+noisy(delta=0.3)``). With ``--faults SPEC`` the
+    run executes on a fault-injecting engine under a
+    graceful-degradation guard and also prints the guard's degradation
+    accounting.
 ``sweep WORKLOAD``
     Exhaustive empirical MSO/ASO for PB, SB and AB.
 ``epps WORKLOAD``
@@ -20,19 +22,22 @@ Commands
     Regenerate one of the paper's tables/figures (fig8, fig9, fig10,
     fig12, fig13, table2, table3, table4, wallclock, job,
     ablation-ratio, ablation-anorexic, fault-sweep).
+
+Every command resolves its artifacts through the process-wide
+:class:`~repro.session.RobustSession`, so repeated invocations inside
+one process (and the experiment drivers underneath ``experiment`` /
+``reproduce``) share cached spaces and contours.
 """
 
 import argparse
 import sys
 
-from repro.algorithms import AlignedBound, PlanBouquet, SpillBound
 from repro.algorithms.spillbound import spillbound_guarantee
 from repro.common.reporting import format_degradation, format_table
-from repro.ess.contours import ContourSet
 from repro.harness import experiments
 from repro.harness.epp_selection import rank_epps
-from repro.harness.workloads import _BUILDERS, build_space, workload
-from repro.metrics.mso import exhaustive_sweep
+from repro.harness.workloads import _BUILDERS, workload
+from repro.session import default_session
 
 EXPERIMENTS = {
     "fig8": lambda args: experiments.fig8_mso_guarantees(
@@ -84,6 +89,10 @@ def build_parser():
     p.add_argument("--algorithm", default="spillbound",
                    choices=("planbouquet", "spillbound", "alignedbound"))
     p.add_argument("--resolution", type=int, default=None)
+    p.add_argument("--engine", default=None, metavar="SPEC",
+                   help="execution environment spec, e.g. "
+                        "'simulated+noisy(delta=0.3)' or "
+                        "'+faulty(crash=0.2,seed=7)'")
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="inject faults: a crash rate (e.g. 0.2) or a "
                         "k=v list like crash=0.2,corrupt=0.1,drift=0.05; "
@@ -98,6 +107,8 @@ def build_parser():
     p.add_argument("workload")
     p.add_argument("--resolution", type=int, default=None)
     p.add_argument("--sample", type=int, default=None)
+    p.add_argument("--engine", default=None, metavar="SPEC",
+                   help="execution environment spec for every run")
 
     p = sub.add_parser("epps", help="rank predicates by error-proneness")
     p.add_argument("workload")
@@ -118,6 +129,9 @@ def build_parser():
     p.add_argument("path")
     p.add_argument("--resolution", type=int, default=None)
     p.add_argument("--mode", default="fast", choices=("fast", "exact"))
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallelise an exact build over N processes "
+                        "(bit-identical to the serial build)")
 
     p = sub.add_parser("reproduce",
                        help="regenerate every paper artifact into one "
@@ -133,6 +147,7 @@ def build_parser():
 def main(argv=None):
     args = build_parser().parse_args(argv)
     out = sys.stdout
+    session = default_session()
 
     if args.command == "list":
         rows = []
@@ -147,9 +162,8 @@ def main(argv=None):
 
     if args.command == "guarantee":
         query = workload(args.workload)
-        space = build_space(query, resolution=args.resolution)
-        contours = ContourSet(space)
-        pb = PlanBouquet(space, contours)
+        pb = session.algorithm("planbouquet", query=query,
+                               resolution=args.resolution)
         d = query.dimensions
         rows = [
             ("planbouquet", "4(1+lam)rho", pb.mso_guarantee()),
@@ -165,27 +179,27 @@ def main(argv=None):
 
     if args.command == "run":
         query = workload(args.workload)
-        space = build_space(query, resolution=args.resolution)
-        contours = ContourSet(space)
-        algorithm = {
-            "planbouquet": PlanBouquet,
-            "spillbound": SpillBound,
-            "alignedbound": AlignedBound,
-        }[args.algorithm](space, contours)
+        algorithm = session.algorithm(args.algorithm, query=query,
+                                      resolution=args.resolution)
+        space = algorithm.space
         if args.qa:
             qa = tuple(int(x) for x in args.qa.split(","))
         else:
             qa = tuple(int(r * 0.7) for r in space.grid.shape)
         engine = None
+        if args.engine is not None:
+            engine = session.engine(space, qa_index=qa, spec=args.engine)
         if args.faults is not None:
-            from repro.engine.faulty import FaultPlan, FaultyEngine
-            from repro.robustness import DiscoveryGuard, RetryPolicy
+            from repro.engine.faulty import FaultPlan
+            from repro.robustness import RetryPolicy
             plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
-            engine = FaultyEngine(space, qa, plan=plan)
-            algorithm = DiscoveryGuard(
+            engine = session.engine(
+                space, qa_index=qa,
+                spec=(args.engine or "simulated") + "+faulty()",
+                plan=plan)
+            algorithm = session.algorithm(
                 algorithm,
-                policy=RetryPolicy(max_retries=args.max_retries),
-            )
+                guard=RetryPolicy(max_retries=args.max_retries))
         result = algorithm.run(qa, engine=engine)
         rows = [
             (r.contour + 1, r.mode, "P%d" % (r.plan_id + 1),
@@ -207,12 +221,14 @@ def main(argv=None):
 
     if args.command == "sweep":
         query = workload(args.workload)
-        space = build_space(query, resolution=args.resolution)
-        contours = ContourSet(space)
+        space = session.space(query, resolution=args.resolution)
         rows = []
-        for cls in (PlanBouquet, SpillBound, AlignedBound):
-            algorithm = cls(space, contours)
-            sweep = exhaustive_sweep(algorithm, sample=args.sample)
+        for name in ("planbouquet", "spillbound", "alignedbound"):
+            algorithm = session.algorithm(name, query=query,
+                                          resolution=args.resolution)
+            sweep = session.sweep(query, algorithm, sample=args.sample,
+                                  spec=args.engine,
+                                  resolution=args.resolution)
             rows.append((algorithm.name, algorithm.mso_guarantee(),
                          sweep.mso, sweep.aso))
         out.write(format_table(
@@ -243,13 +259,14 @@ def main(argv=None):
             render_trace_svg,
         )
         query = workload(args.workload)
-        space = build_space(query, resolution=args.resolution)
-        contours = ContourSet(space)
+        space, contours = session.space_and_contours(
+            query, resolution=args.resolution)
         os.makedirs(args.out, exist_ok=True)
         prefix = os.path.join(args.out, query.name)
         render_plan_diagram_svg(space, path=prefix + "_plan_diagram.svg")
         render_contour_svg(space, contours, path=prefix + "_contours.svg")
-        result = SpillBound(space, contours).run(
+        result = session.algorithm("spillbound", space=space,
+                                   contours=contours).run(
             tuple(int(r * 0.7) for r in space.grid.shape))
         render_trace_svg(space, contours, result,
                          path=prefix + "_trace.svg")
@@ -258,10 +275,9 @@ def main(argv=None):
 
     if args.command == "build":
         from repro.ess.persistence import save_space
-        from repro.ess.space import ExplorationSpace
         query = workload(args.workload)
-        space = ExplorationSpace(query, resolution=args.resolution)
-        space.build(mode=args.mode)
+        space = session.space(query, resolution=args.resolution,
+                              mode=args.mode, workers=args.workers)
         save_space(space, args.path)
         out.write(
             "saved %s (grid %s, %d plans) to %s\n"

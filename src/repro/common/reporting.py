@@ -85,11 +85,17 @@ class Report:
     def __init__(self, name):
         self.name = name
         self.tables = []
+        self.notes = []
 
     def add_table(self, title, headers, rows):
         """Record a table; returns the rows for chaining."""
         self.tables.append((title, list(headers), [list(r) for r in rows]))
         return rows
+
+    def add_note(self, text):
+        """Record a free-form line rendered after the tables."""
+        self.notes.append(str(text))
+        return text
 
     def add_degradation(self, title, items):
         """Record a degradation accounting table (see
@@ -102,6 +108,8 @@ class Report:
         chunks = ["# %s" % self.name]
         for title, headers, rows in self.tables:
             chunks.append(format_table(headers, rows, title=title))
+        if self.notes:
+            chunks.append("\n".join(self.notes))
         return "\n\n".join(chunks)
 
     def __str__(self):

@@ -409,7 +409,7 @@ class RowEngine:
                 monitor.left_rows += 1
                 for inner_row in inner:
                     meter.charge(self.params.nl_compare_cost)
-                    if all(outer_row[l] == inner_row[r] for l, r in keys):
+                    if all(outer_row[lk] == inner_row[rk] for lk, rk in keys):
                         meter.charge(self.params.output_cost)
                         monitor.out_rows += 1
                         merged = dict(outer_row)

@@ -6,7 +6,11 @@ substrate. Benchmarks under ``benchmarks/`` call these and print the
 reports; EXPERIMENTS.md records paper-vs-measured values.
 
 All drivers accept a ``resolution`` override and a ``sweep_sample`` cap
-so quick smoke runs and full reproductions share one code path.
+so quick smoke runs and full reproductions share one code path. All
+artifact construction (spaces, contours) flows through the process-wide
+:class:`~repro.session.RobustSession`, so spaces are built once per
+(query, resolution, build-mode) and shared across drivers, benchmark
+files and CLI invocations.
 """
 
 import numpy as np
@@ -15,31 +19,31 @@ from repro.algorithms import (
     AlignedBound,
     NativeOptimizer,
     Oracle,
-    PlanBouquet,
     SpillBound,
 )
 from repro.algorithms.alignment import analyse_alignment
 from repro.algorithms.spillbound import spillbound_guarantee
 from repro.catalog.datagen import generate_database
-from repro.catalog.tpcds import mini_tpcds_catalog
 from repro.common.reporting import Report
-from repro.ess.contours import ContourSet
 from repro.executor.rowengine import RowBackedEngine
 from repro.harness.workloads import (
     PAPER_SUITE,
-    build_space,
     job_q1a,
     q91_dimensional_ramp,
     workload,
 )
 from repro.metrics.distribution import suboptimality_histogram
-from repro.metrics.mso import exhaustive_sweep
+from repro.session import SweepDriver, default_session
 from repro.query.query import Query, make_filter, make_join
 
 
+def _session():
+    return default_session()
+
+
 def _space_and_contours(query, resolution=None):
-    space = build_space(query, resolution=resolution)
-    return space, ContourSet(space)
+    """Legacy helper, now a session call (kept for importers)."""
+    return _session().space_and_contours(query, resolution=resolution)
 
 
 # ----------------------------------------------------------------------
@@ -48,12 +52,12 @@ def _space_and_contours(query, resolution=None):
 
 def fig8_mso_guarantees(names=PAPER_SUITE, resolution=None, lam=0.2):
     report = Report("Fig. 8: MSO guarantees (MSOg)")
+    driver = SweepDriver(_session(), resolution=resolution, lam=lam)
     rows = []
     for name in names:
-        space, contours = _space_and_contours(workload(name), resolution)
-        pb = PlanBouquet(space, contours, lam=lam)
-        sb = SpillBound(space, contours)
-        rows.append((name, space.query.dimensions, pb.rho,
+        pb = driver.algorithm("planbouquet", workload(name))
+        sb = driver.algorithm("spillbound", workload(name))
+        rows.append((name, pb.space.query.dimensions, pb.rho,
                      pb.mso_guarantee(), sb.mso_guarantee()))
     report.add_table(
         "MSO guarantee per query",
@@ -69,11 +73,11 @@ def fig8_mso_guarantees(names=PAPER_SUITE, resolution=None, lam=0.2):
 
 def fig9_dimensionality(resolution=None, lam=0.2):
     report = Report("Fig. 9: MSOg vs dimensionality (Q91)")
+    driver = SweepDriver(_session(), resolution=resolution, lam=lam)
     rows = []
     for query in q91_dimensional_ramp():
-        space, contours = _space_and_contours(query, resolution)
-        pb = PlanBouquet(space, contours, lam=lam)
-        sb = SpillBound(space, contours)
+        pb = driver.algorithm("planbouquet", query)
+        sb = driver.algorithm("spillbound", query)
         rows.append((query.dimensions, pb.mso_guarantee(),
                      sb.mso_guarantee()))
     report.add_table(
@@ -89,18 +93,14 @@ def fig9_dimensionality(resolution=None, lam=0.2):
 def fig10_11_empirical(names=PAPER_SUITE, resolution=None, lam=0.2,
                        sweep_sample=None, rng=0):
     report = Report("Figs. 10 & 11: empirical MSO / ASO (PB vs SB)")
-    rows = []
-    for name in names:
-        space, contours = _space_and_contours(workload(name), resolution)
-        pb_sweep = exhaustive_sweep(
-            PlanBouquet(space, contours, lam=lam), sample=sweep_sample,
-            rng=rng,
-        )
-        sb_sweep = exhaustive_sweep(
-            SpillBound(space, contours), sample=sweep_sample, rng=rng
-        )
-        rows.append((name, pb_sweep.mso, sb_sweep.mso,
-                     pb_sweep.aso, sb_sweep.aso))
+    driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                         resolution=resolution, lam=lam)
+    rows = [
+        (name, cells["planbouquet"].mso, cells["spillbound"].mso,
+         cells["planbouquet"].aso, cells["spillbound"].aso)
+        for name, cells in driver.grid(
+            names, ("planbouquet", "spillbound")).items()
+    ]
     report.add_table(
         "Empirical robustness per query",
         ["query", "PB MSOe", "SB MSOe", "PB ASO", "SB ASO"],
@@ -116,15 +116,11 @@ def fig10_11_empirical(names=PAPER_SUITE, resolution=None, lam=0.2,
 def fig12_distribution(name="4D_Q91", resolution=None, lam=0.2,
                        sweep_sample=None, rng=0):
     report = Report("Fig. 12: sub-optimality distribution (%s)" % name)
-    space, contours = _space_and_contours(workload(name), resolution)
-    pb_sweep = exhaustive_sweep(
-        PlanBouquet(space, contours, lam=lam), sample=sweep_sample, rng=rng
-    )
-    sb_sweep = exhaustive_sweep(
-        SpillBound(space, contours), sample=sweep_sample, rng=rng
-    )
-    pb_hist = dict(suboptimality_histogram(pb_sweep))
-    sb_hist = dict(suboptimality_histogram(sb_sweep))
+    driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                         resolution=resolution, lam=lam)
+    cells = driver.grid([name], ("planbouquet", "spillbound"))[name]
+    pb_hist = dict(suboptimality_histogram(cells["planbouquet"].sweep))
+    sb_hist = dict(suboptimality_histogram(cells["spillbound"].sweep))
     rows = [
         (label, pb_hist[label], sb_hist[label]) for label in pb_hist
     ]
@@ -143,17 +139,14 @@ def fig12_distribution(name="4D_Q91", resolution=None, lam=0.2,
 def fig13_ab_mso(names=PAPER_SUITE, resolution=None, sweep_sample=None,
                  rng=0):
     report = Report("Fig. 13: empirical MSO (SB vs AB)")
-    rows = []
-    for name in names:
-        space, contours = _space_and_contours(workload(name), resolution)
-        sb_sweep = exhaustive_sweep(
-            SpillBound(space, contours), sample=sweep_sample, rng=rng
-        )
-        ab_sweep = exhaustive_sweep(
-            AlignedBound(space, contours), sample=sweep_sample, rng=rng
-        )
-        lower = AlignedBound(space, contours).mso_lower_guarantee()
-        rows.append((name, sb_sweep.mso, ab_sweep.mso, lower))
+    driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                         resolution=resolution)
+    rows = [
+        (name, cells["spillbound"].mso, cells["alignedbound"].mso,
+         cells["alignedbound"].instance.mso_lower_guarantee())
+        for name, cells in driver.grid(
+            names, ("spillbound", "alignedbound")).items()
+    ]
     report.add_table(
         "Empirical MSO per query",
         ["query", "SB MSOe", "AB MSOe", "2D+2 reference"],
@@ -351,8 +344,10 @@ def wallclock_experiment(rng=11, resolution=12, delta=1.0, scale=1.0):
         "addr.a_key": -2.2,
     }
     database = generate_database(catalog, rng=rng, skew=skew)
-    space = build_space(query, resolution=resolution, cache=False)
-    contours = ContourSet(space)
+    # The catalog is re-scaled per call under one query name, so this
+    # space must bypass the content-addressed cache.
+    space, contours = _session().space_and_contours(
+        query, resolution=resolution, cache=False)
 
     report = Report("Wall-clock-style experiment (metered row executor)")
     rows = []
@@ -405,22 +400,18 @@ def wallclock_experiment(rng=11, resolution=12, delta=1.0, scale=1.0):
 def job_experiment(dims=3, resolution=None, sweep_sample=None, rng=0):
     """JOB Q1a: native worst-case MSO vs SB and AB empirical MSO."""
     query = job_q1a(dims)
-    space, contours = _space_and_contours(query, resolution)
-    native = NativeOptimizer(space)
-    sb_sweep = exhaustive_sweep(
-        SpillBound(space, contours), sample=sweep_sample, rng=rng
-    )
-    ab_sweep = exhaustive_sweep(
-        AlignedBound(space, contours), sample=sweep_sample, rng=rng
-    )
+    driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                         resolution=resolution)
+    cells = driver.grid([query], ("spillbound", "alignedbound"))[query.name]
+    native = NativeOptimizer(cells["spillbound"].instance.space)
     report = Report("JOB benchmark (Q1a, D=%d)" % dims)
     report.add_table(
         "MSO on the Join Order Benchmark",
         ["algorithm", "MSO"],
         [
             ("native (worst-case over qe)", native.worst_case_mso()),
-            ("spillbound (empirical)", sb_sweep.mso),
-            ("alignedbound (empirical)", ab_sweep.mso),
+            ("spillbound (empirical)", cells["spillbound"].mso),
+            ("alignedbound (empirical)", cells["alignedbound"].mso),
         ],
     )
     return report
@@ -433,17 +424,18 @@ def job_experiment(dims=3, resolution=None, sweep_sample=None, rng=0):
 def ablation_cost_ratio(name="3D_Q15", ratios=(1.5, 1.8, 2.0, 2.5, 3.0),
                         resolution=None, sweep_sample=None, rng=0):
     """§4.2 remark: contour cost-ratio sweep for SpillBound."""
-    space = build_space(workload(name), resolution=resolution)
     report = Report("Ablation: contour cost ratio (%s)" % name)
     rows = []
     for ratio in ratios:
-        contours = ContourSet(space, ratio=ratio)
-        sb = SpillBound(space, contours)
-        sweep = exhaustive_sweep(sb, sample=sweep_sample, rng=rng)
+        driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                             resolution=resolution, ratio=ratio)
+        record = next(driver.run([name], ("spillbound",)))
+        contours = record.instance.contours
         rows.append((
             ratio, len(contours),
-            spillbound_guarantee(space.query.dimensions, ratio),
-            sweep.mso, sweep.aso,
+            spillbound_guarantee(
+                record.instance.space.query.dimensions, ratio),
+            record.mso, record.aso,
         ))
     report.add_table(
         "SpillBound vs contour ratio",
@@ -462,21 +454,16 @@ def ablation_cost_error(name="2D_Q91", deltas=(0.0, 0.1, 0.3, 0.5),
     deviate from the model by up to the same factor; the guarantee
     inflates by ``(1+delta)^2`` and the sweep verifies it empirically.
     """
-    from repro.engine.noisy import NoisyEngine, inflated_guarantee
+    from repro.engine.noisy import inflated_guarantee
 
-    space = build_space(workload(name), resolution=resolution)
-    contours = ContourSet(space)
-    sb = SpillBound(space, contours)
+    session = _session()
+    sb = session.algorithm("spillbound", query=name, resolution=resolution)
     report = Report("Ablation: cost-model error (%s)" % name)
     rows = []
     for delta in deltas:
-        sweep = exhaustive_sweep(
-            sb,
-            sample=sweep_sample,
-            rng=rng,
-            engine_factory=lambda qa, d=delta: NoisyEngine(
-                space, qa, delta=d, seed=seed),
-        )
+        sweep = session.sweep(
+            name, sb, sample=sweep_sample, rng=rng,
+            spec="simulated+noisy(delta=%g,seed=%d)" % (delta, seed))
         rows.append((
             delta,
             inflated_guarantee(sb.mso_guarantee(), delta),
@@ -505,15 +492,15 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
     table reports how the empirical MSO/ASO, degradation share, retry
     count and wasted spend grow with the fault rate.
     """
-    from repro.engine.faulty import FaultPlan, FaultyEngine
-    from repro.robustness import DiscoveryGuard, RetryPolicy
+    from repro.engine.faulty import FaultPlan
+    from repro.robustness import RetryPolicy
+    from repro.session import EngineSpec
 
-    space = build_space(workload(name), resolution=resolution)
-    contours = ContourSet(space)
-    guard = DiscoveryGuard(
-        SpillBound(space, contours),
-        policy=RetryPolicy(max_retries=max_retries),
-    )
+    session = _session()
+    guard = session.algorithm(
+        "spillbound", query=name, resolution=resolution,
+        guard=RetryPolicy(max_retries=max_retries))
+    space = guard.space
     grid = space.grid
     if sweep_sample is not None and sweep_sample < grid.size:
         flats = np.random.default_rng(rng).choice(
@@ -523,6 +510,7 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
 
     report = Report("Fault sweep: %s under an unreliable substrate (%s)"
                     % (guard.name, name))
+    spec = EngineSpec.parse("simulated+faulty()")
     rows = []
     worst = []
     for rate in rates:
@@ -540,7 +528,7 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
                 drift_rate=rate / 2.0,
                 seed=fault_seed + 997 * int(flat),
             )
-            engine = FaultyEngine(space, qa, plan=plan)
+            engine = spec.build(space, qa_index=qa, plan=plan)
             result = guard.run(qa, engine=engine)
             subopts.append(result.sub_optimality)
             extras = result.extras
@@ -577,21 +565,16 @@ def ab_average_case(names=PAPER_SUITE, resolution=None,
     """AB vs SB on ASO and distribution (the §6.4 analyses the paper
     defers to its technical report [14])."""
     report = Report("AB vs SB: average case and distribution")
-    rows = []
-    for name in names:
-        space, contours = _space_and_contours(workload(name), resolution)
-        sb_sweep = exhaustive_sweep(
-            SpillBound(space, contours), sample=sweep_sample, rng=rng
-        )
-        ab_sweep = exhaustive_sweep(
-            AlignedBound(space, contours), sample=sweep_sample, rng=rng
-        )
-        rows.append((
-            name,
-            sb_sweep.aso, ab_sweep.aso,
-            100.0 * sb_sweep.fraction_below(5.0),
-            100.0 * ab_sweep.fraction_below(5.0),
-        ))
+    driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                         resolution=resolution)
+    rows = [
+        (name,
+         cells["spillbound"].aso, cells["alignedbound"].aso,
+         100.0 * cells["spillbound"].sweep.fraction_below(5.0),
+         100.0 * cells["alignedbound"].sweep.fraction_below(5.0))
+        for name, cells in driver.grid(
+            names, ("spillbound", "alignedbound")).items()
+    ]
     report.add_table(
         "ASO and share of locations below sub-optimality 5",
         ["query", "SB ASO", "AB ASO", "SB <5 (%)", "AB <5 (%)"],
@@ -603,15 +586,15 @@ def ab_average_case(names=PAPER_SUITE, resolution=None,
 def ablation_anorexic(name="4D_Q91", lambdas=(0.0, 0.1, 0.2, 0.4, 1.0),
                       resolution=None, sweep_sample=None, rng=0):
     """Anorexic-reduction threshold sweep for PlanBouquet."""
-    space = build_space(workload(name), resolution=resolution)
-    contours = ContourSet(space)
     report = Report("Ablation: anorexic reduction threshold (%s)" % name)
     rows = []
     for lam in lambdas:
-        pb = PlanBouquet(space, contours, lam=lam)
-        sweep = exhaustive_sweep(pb, sample=sweep_sample, rng=rng)
+        driver = SweepDriver(_session(), sample=sweep_sample, rng=rng,
+                             resolution=resolution, lam=lam)
+        record = next(driver.run([name], ("planbouquet",)))
+        pb = record.instance
         rows.append((
-            lam, pb.rho, pb.mso_guarantee(), sweep.mso, sweep.aso,
+            lam, pb.rho, pb.mso_guarantee(), record.mso, record.aso,
         ))
     report.add_table(
         "PlanBouquet vs lambda",

@@ -12,7 +12,6 @@ evaluation section.
 
 from repro.catalog.job import job_catalog
 from repro.catalog.tpcds import tpcds_catalog
-from repro.ess.space import ExplorationSpace
 from repro.query.query import Query, make_filter, make_join
 
 # Shared catalogs (statistics only -- cheap to keep alive).
@@ -362,19 +361,20 @@ def q91_dimensional_ramp():
 
 
 # ----------------------------------------------------------------------
-# space construction with in-process caching (benchmarks share spaces)
-
-_SPACE_CACHE = {}
+# space construction (thin shim over the session layer's artifact cache)
 
 
 def build_space(query, resolution=None, mode="fast", s_min=1e-6, rng=0,
                 cache=True):
-    """Build (and cache) the exploration space for ``query``."""
-    key = (query.name, query.epps, resolution, mode, s_min)
-    if cache and key in _SPACE_CACHE:
-        return _SPACE_CACHE[key]
-    space = ExplorationSpace(query, resolution=resolution, s_min=s_min)
-    space.build(mode=mode, rng=rng)
-    if cache:
-        _SPACE_CACHE[key] = space
-    return space
+    """Build (and cache) the exploration space for ``query``.
+
+    Legacy entry point, kept for compatibility: construction is routed
+    through :func:`repro.session.default_session`, so spaces built here
+    share one content-addressed cache with experiments, sweeps and the
+    CLI.
+    """
+    from repro.session import default_session
+
+    return default_session().space(
+        query, resolution=resolution, mode=mode, s_min=s_min, rng=rng,
+        cache=cache)

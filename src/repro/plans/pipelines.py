@@ -27,7 +27,6 @@ from repro.plans.nodes import (
     JOIN_LIKE,
     HashJoin,
     IndexNLJoin,
-    JoinNode,
     MergeJoin,
     NestedLoopJoin,
     SeqScan,

@@ -1,0 +1,49 @@
+"""Session layer: one pipeline for query -> ESS -> contours -> engine
+-> algorithm, with a content-addressed artifact cache.
+
+Entry points:
+
+* :class:`RobustSession` -- the single construction path above the cost
+  model; caches spaces/contours (memory LRU + optional disk archives),
+  builds engines from declarative specs, hands out (optionally guarded)
+  algorithms, and runs discovery/sweeps.
+* :class:`EngineSpec` -- parse/compose execution environments
+  (``"simulated+noisy(delta=0.3)+faulty(crash=0.2)"``).
+* :class:`SweepDriver` -- batched (queries x algorithms) empirical
+  sweeps emitting one uniform :class:`SweepRecord` stream.
+* :func:`default_session` -- the process-wide session shared by the
+  legacy ``build_space`` shim, the experiment drivers and the CLI.
+"""
+
+from repro.session.cache import ArtifactCache, CacheStats, SpaceKey
+from repro.session.registry import (
+    BASE_ENGINES,
+    ENGINE_LAYERS,
+    EngineSpec,
+    register_base,
+    register_layer,
+)
+from repro.session.session import (
+    ALGORITHMS,
+    RobustSession,
+    default_session,
+    set_default_session,
+)
+from repro.session.sweep import SweepDriver, SweepRecord
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "SpaceKey",
+    "EngineSpec",
+    "BASE_ENGINES",
+    "ENGINE_LAYERS",
+    "register_base",
+    "register_layer",
+    "ALGORITHMS",
+    "RobustSession",
+    "default_session",
+    "set_default_session",
+    "SweepDriver",
+    "SweepRecord",
+]

@@ -1,0 +1,257 @@
+"""Content-addressed artifact cache for exploration spaces and contours.
+
+The paper (§7) frames ESS/contour construction as an offline,
+amortizable activity: build once, reuse across queries and sessions.
+This module is the reuse half of that bargain. An :class:`ArtifactCache`
+holds built :class:`~repro.ess.space.ExplorationSpace` /
+:class:`~repro.ess.contours.ContourSet` pairs behind a two-tier lookup:
+
+* **memory** -- an LRU of recently used spaces (one entry per
+  :class:`SpaceKey`), shared by every experiment, CLI invocation and
+  sweep running in the process;
+* **disk** -- optional, content-addressed ``.npz`` archives written
+  through :mod:`repro.ess.persistence`, so a space built in one process
+  is loaded back (no optimizer calls) by the next.
+
+A :class:`SpaceKey` is derived purely from the *content* that determines
+the build output -- query identity (name, epp declaration, relation set,
+catalog), grid geometry (resolution, ``s_min``) and build mode -- so two
+sessions asking for the same artifact hash to the same archive file,
+while any change to the inputs (different resolution, different
+predicate set, bumped archive format) changes the address and therefore
+*misses* instead of loading a stale surface. Archives whose embedded
+fingerprint disagrees with the requesting query are likewise treated as
+misses and rebuilt, never trusted.
+
+Contours are derived data (seconds, not minutes) and are cached in
+memory only, attached to their space's cache entry keyed by cost ratio.
+"""
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+
+from repro.common.errors import DiscoveryError
+from repro.ess.contours import ContourSet
+from repro.ess.persistence import FORMAT_VERSION, load_space, save_space
+from repro.ess.space import default_resolution
+
+#: Default number of spaces kept in the in-memory LRU tier.
+MEMORY_SLOTS = 64
+
+
+class SpaceKey:
+    """Content address of one built exploration space.
+
+    Everything that changes the build output is part of the key;
+    anything that merely changes *how fast* it is built (``workers``)
+    is deliberately excluded, so a parallel exact build and a serial
+    one resolve to the same artifact.
+    """
+
+    __slots__ = ("query_name", "epps", "tables", "catalog", "resolution",
+                 "mode", "s_min", "rng")
+
+    def __init__(self, query_name, epps, tables, catalog, resolution,
+                 mode, s_min, rng):
+        self.query_name = query_name
+        self.epps = tuple(epps)
+        self.tables = tuple(sorted(tables))
+        self.catalog = catalog
+        self.resolution = resolution
+        self.mode = mode
+        self.s_min = s_min
+        self.rng = rng
+
+    @classmethod
+    def of(cls, query, resolution=None, mode="fast", s_min=1e-6, rng=0):
+        """Key for building ``query`` with the given knobs.
+
+        ``resolution=None`` is normalised to the dimensionality default
+        so explicit and implicit requests for the same grid share an
+        entry.
+        """
+        if resolution is None:
+            resolution = default_resolution(query.dimensions)
+        return cls(query.name, query.epps, query.tables,
+                   query.catalog.name, int(resolution), mode,
+                   float(s_min), int(rng))
+
+    def _tuple(self):
+        return (self.query_name, self.epps, self.tables, self.catalog,
+                self.resolution, self.mode, self.s_min, self.rng)
+
+    def __eq__(self, other):
+        return isinstance(other, SpaceKey) and \
+            self._tuple() == other._tuple()
+
+    def __hash__(self):
+        return hash(self._tuple())
+
+    def digest(self):
+        """Stable content hash naming the on-disk archive.
+
+        The persistence format version is folded in so a format bump
+        re-addresses every archive (old files become unreachable rather
+        than mis-loaded).
+        """
+        payload = json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "query": self.query_name,
+                "epps": list(self.epps),
+                "tables": list(self.tables),
+                "catalog": self.catalog,
+                "resolution": self.resolution,
+                "mode": self.mode,
+                "s_min": self.s_min,
+                "rng": self.rng,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def __repr__(self):
+        return "SpaceKey(%s/%s, res=%d, mode=%s)" % (
+            self.query_name, "x".join(self.epps), self.resolution,
+            self.mode)
+
+
+class CacheStats:
+    """Counters describing how effective the cache has been."""
+
+    __slots__ = ("memory_hits", "disk_hits", "builds", "contour_hits",
+                 "contour_builds", "invalidations")
+
+    def __init__(self):
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.builds = 0
+        self.contour_hits = 0
+        self.contour_builds = 0
+        #: Stale disk archives that failed fingerprint/version checks
+        #: and were rebuilt instead of loaded.
+        self.invalidations = 0
+
+    @property
+    def hits(self):
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self):
+        return self.hits + self.builds
+
+    def hit_rate(self):
+        """Fraction of space lookups served without a build."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def describe(self):
+        """One-line summary for benchmark reports."""
+        return ("space cache: %d memory + %d disk hits, %d builds "
+                "(hit rate %.0f%%); contours: %d hits, %d builds" % (
+                    self.memory_hits, self.disk_hits, self.builds,
+                    100.0 * self.hit_rate(), self.contour_hits,
+                    self.contour_builds))
+
+    def __repr__(self):
+        return "CacheStats(%s)" % self.describe()
+
+
+class _Entry:
+    """One cached space plus its derived contour sets, keyed by ratio."""
+
+    __slots__ = ("space", "contours")
+
+    def __init__(self, space):
+        self.space = space
+        self.contours = {}
+
+
+class ArtifactCache:
+    """Two-tier (memory LRU + content-addressed disk) artifact store."""
+
+    def __init__(self, cache_dir=None, memory_slots=MEMORY_SLOTS):
+        if memory_slots < 1:
+            raise ValueError("memory_slots must be >= 1")
+        self.cache_dir = cache_dir
+        self.memory_slots = memory_slots
+        self._entries = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def clear(self):
+        """Drop the memory tier (disk archives are left in place)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # space tier
+
+    def space(self, key, query, builder):
+        """The built space for ``key``, from memory, disk, or ``builder``.
+
+        ``builder`` is a zero-argument callable producing a built
+        :class:`ExplorationSpace`; it runs only on a full miss, after
+        which the result is stored in both tiers.
+        """
+        return self._entry(key, query, builder).space
+
+    def contours(self, key, query, builder, ratio):
+        """The ``(space, contours)`` pair for ``key`` at ``ratio``."""
+        entry = self._entry(key, query, builder)
+        contours = entry.contours.get(ratio)
+        if contours is None:
+            self.stats.contour_builds += 1
+            contours = ContourSet(entry.space, ratio=ratio)
+            entry.contours[ratio] = contours
+        else:
+            self.stats.contour_hits += 1
+        return entry.space, contours
+
+    def _entry(self, key, query, builder):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.memory_hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        space = self._load_disk(key, query)
+        if space is None:
+            self.stats.builds += 1
+            space = builder()
+            self._store_disk(key, space)
+        entry = _Entry(space)
+        self._entries[key] = entry
+        while len(self._entries) > self.memory_slots:
+            self._entries.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------
+    # disk tier
+
+    def _archive_path(self, key):
+        return os.path.join(self.cache_dir, key.digest() + ".npz")
+
+    def _load_disk(self, key, query):
+        if self.cache_dir is None:
+            return None
+        path = self._archive_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            space = load_space(query, path)
+        except (DiscoveryError, OSError, ValueError, KeyError):
+            # Stale, truncated or foreign archive: a miss, never
+            # garbage. The rebuild below overwrites it.
+            self.stats.invalidations += 1
+            return None
+        self.stats.disk_hits += 1
+        return space
+
+    def _store_disk(self, key, space):
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        save_space(space, self._archive_path(key))

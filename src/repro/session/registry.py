@@ -1,0 +1,270 @@
+"""Declarative engine registry and spec parsing.
+
+Execution environments used to be composed by hand at every call site
+(``FaultyEngine(space, qa, plan=..., base=NoisyEngine(...))``). An
+:class:`EngineSpec` names the same composition declaratively::
+
+    simulated
+    simulated+noisy(delta=0.3,seed=13)
+    simulated+noisy(delta=0.3)+faulty(crash=0.2,seed=5)
+    row(delta=1.0)
+    vectorized(delta=0.5)
+
+The first segment picks a **base** environment from :data:`BASE_ENGINES`
+(``simulated``, ``row``, ``vectorized``); each further ``+layer(...)``
+segment wraps it with a registered **layer** from :data:`ENGINE_LAYERS`
+(``noisy``, ``faulty``). Specs are plain data: parse once, ``build()``
+per hidden truth. Fault-free builds are execution-identical to the
+hand-written composition they replace (tested), so the registry is a
+naming layer, not a new semantics.
+
+New bases/layers register via :func:`register_base` /
+:func:`register_layer`, keeping the vocabulary open for future
+substrates (a network-attached engine, a disk-spill simulator, ...).
+"""
+
+from repro.common.errors import DiscoveryError
+from repro.engine.faulty import FaultPlan, FaultyEngine
+from repro.engine.noisy import NoisyEngine
+from repro.engine.simulated import SimulatedEngine
+
+#: name -> factory(space, qa_index, database, **kwargs) -> engine
+BASE_ENGINES = {}
+
+#: name -> factory(engine, space, qa_index, **kwargs) -> engine
+ENGINE_LAYERS = {}
+
+
+def register_base(name):
+    """Class decorator-style registration of a base engine factory."""
+    def deco(factory):
+        BASE_ENGINES[name] = factory
+        return factory
+    return deco
+
+
+def register_layer(name):
+    """Registration of a wrapping layer factory."""
+    def deco(factory):
+        ENGINE_LAYERS[name] = factory
+        return factory
+    return deco
+
+
+# ----------------------------------------------------------------------
+# built-in bases
+
+
+@register_base("simulated")
+def _simulated(space, qa_index, database, **kwargs):
+    if kwargs:
+        raise DiscoveryError(
+            "simulated engine takes no arguments, got %r" % (kwargs,))
+    if qa_index is None:
+        raise DiscoveryError("simulated engine needs a qa_index")
+    return SimulatedEngine(space, qa_index)
+
+
+def _row_backed(space, database, executor_cls, **kwargs):
+    from repro.executor.rowengine import RowBackedEngine
+
+    if database is None:
+        raise DiscoveryError(
+            "row-backed engines need a database; pass database= to the "
+            "session or the build call")
+    allowed = {"delta"}
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise DiscoveryError(
+            "unknown row-engine arguments %s" % sorted(unknown))
+    return RowBackedEngine(space, database,
+                           executor_cls=executor_cls, **kwargs)
+
+
+@register_base("row")
+def _row(space, qa_index, database, **kwargs):
+    from repro.executor.runtime import RowEngine
+
+    # qa_index is discovered from the data, not injected; an explicit
+    # one is ignored by design (the truth lives in the rows).
+    return _row_backed(space, database, RowEngine, **kwargs)
+
+
+@register_base("vectorized")
+def _vectorized(space, qa_index, database, **kwargs):
+    from repro.executor.vectorized import VectorEngine
+
+    return _row_backed(space, database, VectorEngine, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# built-in layers
+
+
+@register_layer("noisy")
+def _noisy(engine, space, qa_index, **kwargs):
+    if type(engine) is not SimulatedEngine:
+        raise DiscoveryError(
+            "the noisy layer replaces the simulated base; it cannot "
+            "wrap %r" % type(engine).__name__)
+    allowed = {"delta", "seed"}
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise DiscoveryError(
+            "unknown noisy-layer arguments %s" % sorted(unknown))
+    if "seed" in kwargs:
+        kwargs["seed"] = int(kwargs["seed"])
+    return NoisyEngine(space, engine.qa_index, **kwargs)
+
+
+@register_layer("faulty")
+def _faulty(engine, space, qa_index, plan=None, **kwargs):
+    if plan is None:
+        knobs = {"crash": "crash_rate", "transient": "transient_rate",
+                 "corrupt": "corruption_rate", "drift": "drift_rate",
+                 "drift_factor": "drift_factor", "seed": "seed"}
+        unknown = set(kwargs) - set(knobs)
+        if unknown:
+            raise DiscoveryError(
+                "unknown faulty-layer arguments %s (expected %s)"
+                % (sorted(unknown), ", ".join(sorted(knobs))))
+        plan_kwargs = {knobs[k]: v for k, v in kwargs.items()}
+        if "seed" in plan_kwargs:
+            plan_kwargs["seed"] = int(plan_kwargs["seed"])
+        plan = FaultPlan(**plan_kwargs)
+    elif kwargs:
+        raise DiscoveryError(
+            "faulty layer takes either plan= or knob arguments, not both")
+    # A plain SimulatedEngine base is the FaultyEngine's own default
+    # semantics; passing it as base= would be equivalent but slower.
+    base = None if type(engine) is SimulatedEngine else engine
+    return FaultyEngine(space, engine.qa_index, plan=plan, base=base)
+
+
+# ----------------------------------------------------------------------
+# the spec
+
+
+class EngineSpec:
+    """Parsed, buildable description of an execution environment.
+
+    ``base`` names an entry of :data:`BASE_ENGINES`; ``base_args`` its
+    keyword arguments; ``layers`` is a tuple of ``(name, kwargs)``
+    pairs applied left to right. Instances are immutable value objects:
+    equal specs build equal engines.
+    """
+
+    __slots__ = ("base", "base_args", "layers")
+
+    def __init__(self, base="simulated", base_args=None, layers=()):
+        if base not in BASE_ENGINES:
+            raise DiscoveryError(
+                "unknown base engine %r (registered: %s)"
+                % (base, ", ".join(sorted(BASE_ENGINES))))
+        for name, _kwargs in layers:
+            if name not in ENGINE_LAYERS:
+                raise DiscoveryError(
+                    "unknown engine layer %r (registered: %s)"
+                    % (name, ", ".join(sorted(ENGINE_LAYERS))))
+        self.base = base
+        self.base_args = dict(base_args or {})
+        self.layers = tuple((name, dict(kwargs)) for name, kwargs in layers)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse ``"base(arg=v)+layer(arg=v)+..."`` into a spec.
+
+        An :class:`EngineSpec` instance passes through unchanged, so
+        APIs can accept either form. A leading ``+`` means "layers on
+        the default simulated base" (``"+faulty(crash=0.2)"``).
+        """
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, str) or not spec.strip():
+            raise DiscoveryError("engine spec must be a non-empty string")
+        text = spec.strip()
+        if text.startswith("+"):
+            text = "simulated" + text
+        segments = [s.strip() for s in text.split("+")]
+        if any(not s for s in segments):
+            raise DiscoveryError("empty segment in engine spec %r" % spec)
+        base, base_args = _parse_segment(segments[0])
+        layers = [_parse_segment(s) for s in segments[1:]]
+        return cls(base, base_args, layers)
+
+    def describe(self):
+        """Canonical string form (parses back to an equal spec)."""
+        return "+".join(
+            [_format_segment(self.base, self.base_args)]
+            + [_format_segment(n, k) for n, k in self.layers]
+        )
+
+    # ------------------------------------------------------------------
+
+    def build(self, space, qa_index=None, database=None, **overrides):
+        """Construct the engine over ``space`` hiding ``qa_index``.
+
+        ``overrides`` are forwarded to the *last* faulty layer (e.g.
+        ``plan=`` to substitute a pre-built :class:`FaultPlan`), the
+        hook sweeps use to vary fault seeds per location without
+        re-parsing the spec.
+        """
+        engine = BASE_ENGINES[self.base](
+            space, qa_index, database, **self.base_args)
+        for pos, (name, kwargs) in enumerate(self.layers):
+            if overrides and pos == len(self.layers) - 1 \
+                    and name == "faulty":
+                kwargs = dict(kwargs, **overrides)
+            engine = ENGINE_LAYERS[name](engine, space, qa_index, **kwargs)
+        return engine
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other):
+        return (isinstance(other, EngineSpec)
+                and self.base == other.base
+                and self.base_args == other.base_args
+                and self.layers == other.layers)
+
+    def __hash__(self):
+        return hash(self.describe())
+
+    def __repr__(self):
+        return "EngineSpec(%r)" % self.describe()
+
+
+def _parse_segment(segment):
+    """``"name(k=v,k=v)"`` -> ``(name, {k: float(v), ...})``."""
+    name, paren, rest = segment.partition("(")
+    name = name.strip()
+    if not name:
+        raise DiscoveryError("engine segment %r has no name" % segment)
+    if not paren:
+        return name, {}
+    if not rest.endswith(")"):
+        raise DiscoveryError("unbalanced parentheses in %r" % segment)
+    kwargs = {}
+    body = rest[:-1].strip()
+    if body:
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise DiscoveryError(
+                    "expected key=value in %r, got %r" % (segment, item))
+            try:
+                kwargs[key] = float(value)
+            except ValueError:
+                raise DiscoveryError(
+                    "non-numeric value %r for %s in %r"
+                    % (value.strip(), key, segment)) from None
+    return name, kwargs
+
+
+def _format_segment(name, kwargs):
+    if not kwargs:
+        return name
+    body = ",".join("%s=%g" % (k, v) for k, v in sorted(kwargs.items()))
+    return "%s(%s)" % (name, body)

@@ -1,0 +1,110 @@
+"""Batched sweep driving: many (query, algorithm) sweeps, one stream.
+
+The paper's evaluation repeats one motif a dozen times: for each
+workload, build space + contours, instantiate one or more algorithms,
+run the exhaustive sweep, tabulate MSO/ASO/distribution columns. The
+:class:`SweepDriver` owns that loop once -- artifacts come from the
+session's cache, sweeps run through
+:func:`repro.metrics.mso.exhaustive_sweep`, and results are emitted as a
+uniform stream of :class:`SweepRecord` items that report builders
+consume (``driver.grid(...)`` groups them back per query).
+"""
+
+from repro.metrics.mso import exhaustive_sweep
+
+
+class SweepRecord:
+    """One (query, algorithm) sweep outcome in a driver's stream.
+
+    ``sweep`` is the :class:`~repro.metrics.mso.SweepResult`;
+    ``instance`` the algorithm object that ran it (for guarantees and
+    extras); ``query_name`` / ``algorithm`` name the cell.
+    """
+
+    __slots__ = ("query_name", "algorithm", "instance", "sweep")
+
+    def __init__(self, query_name, algorithm, instance, sweep):
+        self.query_name = query_name
+        self.algorithm = algorithm
+        self.instance = instance
+        self.sweep = sweep
+
+    @property
+    def mso(self):
+        return self.sweep.mso
+
+    @property
+    def aso(self):
+        return self.sweep.aso
+
+    def __repr__(self):
+        return "SweepRecord(%s/%s, MSO=%.2f, ASO=%.2f)" % (
+            self.query_name, self.algorithm, self.mso, self.aso)
+
+
+class SweepDriver:
+    """Run sweeps for many queries x algorithms through one session.
+
+    Parameters mirror the historical per-driver arguments:
+    ``sample``/``rng`` cap and seed the location sampling, ``resolution``
+    overrides the session's grid default, ``lam`` is forwarded to
+    PlanBouquet-family factories, ``engine_factory`` substitutes the
+    execution environment per hidden truth (overriding the session's
+    engine spec).
+    """
+
+    def __init__(self, session, sample=None, rng=0, resolution=None,
+                 lam=None, ratio=None, engine_factory=None, progress=None):
+        self.session = session
+        self.sample = sample
+        self.rng = rng
+        self.resolution = resolution
+        self.lam = lam
+        self.ratio = ratio
+        self.engine_factory = engine_factory
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def artifacts(self, query):
+        """The (space, contours) pair this driver sweeps over."""
+        return self.session.space_and_contours(
+            query, ratio=self.ratio, resolution=self.resolution)
+
+    def algorithm(self, algorithm, query):
+        """Instantiate ``algorithm`` over the cached artifacts."""
+        space, contours = self.artifacts(query)
+        kwargs = {}
+        if self.lam is not None and algorithm in ("planbouquet",
+                                                  "randomized"):
+            kwargs["lam"] = self.lam
+        return self.session.algorithm(algorithm, space=space,
+                                      contours=contours, **kwargs)
+
+    def run(self, queries, algorithms=("spillbound",)):
+        """Yield a :class:`SweepRecord` per (query, algorithm) pair.
+
+        ``queries`` is an iterable of workload names or Query objects;
+        ``algorithms`` of registry names, classes or prebuilt
+        factories. The stream is ordered query-major, matching the
+        paper's tables.
+        """
+        for query in queries:
+            resolved = self.session.query(query)
+            for algorithm in algorithms:
+                instance = self.algorithm(algorithm, resolved)
+                sweep = exhaustive_sweep(
+                    instance, sample=self.sample, rng=self.rng,
+                    progress=self.progress,
+                    engine_factory=self.engine_factory)
+                label = algorithm if isinstance(algorithm, str) \
+                    else instance.name
+                yield SweepRecord(resolved.name, label, instance, sweep)
+
+    def grid(self, queries, algorithms=("spillbound",)):
+        """``{query_name: {algorithm: SweepRecord}}`` for table rows."""
+        table = {}
+        for record in self.run(queries, algorithms):
+            table.setdefault(record.query_name, {})[record.algorithm] = \
+                record
+        return table

@@ -30,7 +30,6 @@ def random_instance(draw):
     fact_cols = [Column("pk", fact_rows)]
     shape = draw(st.sampled_from(["star", "chain"]))
     prev_table = "fact"
-    prev_col = None
     for k in range(n_dims):
         rows = draw(st.integers(100, 200_000))
         ndv = draw(st.integers(50, max(51, rows)))

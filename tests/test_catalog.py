@@ -53,7 +53,8 @@ class TestTable:
 
 class TestCatalog:
     def test_rejects_duplicate_tables(self):
-        t = lambda: Table("t", 10, [Column("c", 5)])
+        def t():
+            return Table("t", 10, [Column("c", 5)])
         with pytest.raises(CatalogError):
             Catalog("x", [t(), t()])
 

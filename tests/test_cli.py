@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import io
 import sys
 
 import pytest

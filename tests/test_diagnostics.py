@@ -49,7 +49,7 @@ class TestDiagramStats:
         assert reduced.cardinality <= full.cardinality
 
     def test_rows_render(self, toy_space):
-        labels = [l for l, _v in plan_diagram_stats(toy_space).rows()]
+        labels = [label for label, _v in plan_diagram_stats(toy_space).rows()]
         assert "plan cardinality" in labels
 
 

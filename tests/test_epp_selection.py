@@ -1,6 +1,5 @@
 """Tests for automated error-prone predicate identification (§7)."""
 
-import pytest
 
 from repro.harness.epp_selection import EppRanking, declare_epps, rank_epps
 from repro.harness.workloads import workload

@@ -1,6 +1,5 @@
 """End-to-end integration flows across the whole public surface."""
 
-import numpy as np
 import pytest
 
 import repro

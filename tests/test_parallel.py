@@ -18,7 +18,8 @@ class TestParallelBuild:
         )
         assert np.array_equal(parallel.plan_at, serial.plan_at)
         assert np.allclose(parallel.opt_cost, serial.opt_cost)
-        signatures = lambda s: {i.tree.signature() for i in s.plans}
+        def signatures(s):
+            return {i.tree.signature() for i in s.plans}
         assert signatures(parallel) == signatures(serial)
 
     def test_single_worker_falls_back(self, toy_query):

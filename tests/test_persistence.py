@@ -72,3 +72,33 @@ class TestSaveLoad:
         save_space(toy_space, path)
         with pytest.raises(DiscoveryError, match="fingerprint"):
             load_space(toy_query_3d, path)
+
+    def test_changed_predicate_set_rejected(self, toy_space, toy_catalog,
+                                            tmp_path):
+        # Identical query except one epp is no longer declared: the
+        # archive's surfaces would be over the wrong dimensions.
+        from repro.query.query import Query, make_filter, make_join
+        renamed = Query(
+            "toy_2d", toy_catalog,
+            ["fact", "dim1", "dim2", "dim3"],
+            [
+                make_join("j1", "fact.f_dim1", "dim1.d1_id"),
+                make_join("j2", "fact.f_dim2", "dim2.d2_id"),
+                make_join("j3", "dim2.d2_link", "dim3.d3_id"),
+            ],
+            [make_filter("f1", "fact.f_val", "<", 100)],
+            epps=("j1", "j3"),
+        )
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        with pytest.raises(DiscoveryError, match="fingerprint"):
+            load_space(renamed, path)
+
+    def test_stale_format_version_rejected(self, toy_space, toy_query,
+                                           tmp_path, monkeypatch):
+        from repro.ess import persistence
+        path = str(tmp_path / "space.npz")
+        save_space(toy_space, path)
+        monkeypatch.setattr(persistence, "FORMAT_VERSION", 99)
+        with pytest.raises(DiscoveryError, match="version"):
+            load_space(toy_query, path)

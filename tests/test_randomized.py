@@ -1,6 +1,5 @@
 """Tests for the randomized PlanBouquet variant."""
 
-import pytest
 
 from repro.algorithms.planbouquet import PlanBouquet
 from repro.algorithms.randomized import RandomizedPlanBouquet

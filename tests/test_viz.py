@@ -5,7 +5,6 @@ import pytest
 
 from repro.algorithms.spillbound import SpillBound
 from repro.common.errors import DiscoveryError
-from repro.ess.contours import ContourSet
 from repro.viz.ascii_art import (
     ascii_contour_map,
     ascii_heatmap,
