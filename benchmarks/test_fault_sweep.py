@@ -28,8 +28,11 @@ def test_fault_sweep(benchmark):
     assert rate0[1] <= 10.0 + 1e-6
     assert rate0[3] == 0.0 and rate0[4] == 0.0 and rate0[5] == 0.0
     # Non-degraded answers stay finite at every rate; accounting columns
-    # are well-formed percentages.
-    for _rate, msoe, aso, degraded_pct, _retries, wasted_pct in rows:
+    # are well-formed percentages. With no deadline or breaker attached
+    # the watchdog columns must stay zero (the zero-overhead contract).
+    for (_rate, msoe, aso, degraded_pct, _retries, wasted_pct,
+         deadline_hits, breaker_hits) in rows:
         assert msoe >= aso >= 1.0
         assert 0.0 <= degraded_pct <= 100.0
         assert 0.0 <= wasted_pct <= 100.0
+        assert deadline_hits == 0 and breaker_hits == 0

@@ -107,8 +107,32 @@ def build_parser():
     p.add_argument("workload")
     p.add_argument("--resolution", type=int, default=None)
     p.add_argument("--sample", type=int, default=None)
+    p.add_argument("--rng", type=int, default=0,
+                   help="seed for sampled sweeps (ignored for full grids)")
     p.add_argument("--engine", default=None, metavar="SPEC",
                    help="execution environment spec for every run")
+    p.add_argument("--algorithms",
+                   default="planbouquet,spillbound,alignedbound",
+                   help="comma-separated algorithms to sweep")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="write every (query, algorithm) unit through a "
+                        "write-ahead journal in DIR; a killed sweep can "
+                        "then be finished with --resume DIR")
+    p.add_argument("--resume", default=None, metavar="DIR",
+                   help="resume the journaled sweep in DIR: committed "
+                        "units are replayed from the log (bit-identical, "
+                        "no re-execution), the rest are re-run")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="cooperative wall-clock budget; units past it "
+                        "degrade to the native fallback and say so")
+    p.add_argument("--cost-budget", type=float, default=None,
+                   help="cumulative execution-cost budget (cost-model "
+                        "units) enforced like --deadline")
+    p.add_argument("--breaker", type=int, default=None, metavar="K",
+                   help="open a per-engine circuit breaker after K "
+                        "consecutive crashes; later units fast-fail to "
+                        "the native fallback")
 
     p = sub.add_parser("epps", help="rank predicates by error-proneness")
     p.add_argument("workload")
@@ -142,6 +166,72 @@ def build_parser():
                         "quick pass")
 
     return parser
+
+
+def _durable_sweep(out, session, query, space, algorithms, args):
+    """``sweep`` with any durability flag: journal/deadline/breaker.
+
+    Runs through a :class:`~repro.session.SweepDriver` so every
+    (query, algorithm) unit is bracketed in the write-ahead journal;
+    ``--resume`` replays committed units from the log and re-runs only
+    the rest. The plain path stays untouched -- with no durability flag
+    the command executes exactly the historical code.
+    """
+    from repro.robustness.durable import CircuitBreaker, Deadline
+    from repro.session import EngineSpec, SweepDriver
+
+    engine_factory = None
+    engine_label = None
+    if args.engine is not None:
+        spec = EngineSpec.parse(args.engine)
+        engine_label = spec.describe()
+
+        def engine_factory(qa):
+            return spec.build(space, qa_index=qa,
+                              database=session.database)
+
+    deadline = None
+    if args.deadline is not None or args.cost_budget is not None:
+        deadline = Deadline(wall_limit=args.deadline,
+                            cost_limit=args.cost_budget)
+    breaker = None
+    if args.breaker is not None:
+        breaker = CircuitBreaker(threshold=args.breaker)
+
+    driver = SweepDriver(
+        session, sample=args.sample, rng=args.rng,
+        resolution=args.resolution, engine_factory=engine_factory,
+        engine_label=engine_label,
+        journal=args.resume if args.resume is not None else args.journal,
+        resume=True if args.resume is not None else None,
+        deadline=deadline, breaker=breaker)
+
+    rows = []
+    for record in driver.run([query], algorithms):
+        extras = record.sweep.extras
+        reasons = extras.get("degraded_reasons") or {}
+        rows.append((
+            record.algorithm,
+            record.instance.mso_guarantee(),
+            record.mso,
+            record.aso,
+            "replay" if record.replayed else "run",
+            extras.get("degraded", 0),
+            ",".join("%s:%d" % kv for kv in sorted(reasons.items()))
+            or "-",
+        ))
+    out.write(format_table(
+        ["algorithm", "MSOg", "MSOe", "ASO", "source", "degraded",
+         "reasons"], rows,
+        title="Empirical robustness for %s (%d locations)" %
+              (query.name, space.grid.size)) + "\n")
+    stats = driver.journal_stats
+    if stats is not None:
+        out.write("journal: %d unit(s) replayed, %d executed, "
+                  "%d torn record(s) truncated\n"
+                  % (stats.replayed, stats.executed,
+                     stats.truncated_records))
+    return 0
 
 
 def main(argv=None):
@@ -222,12 +312,21 @@ def main(argv=None):
     if args.command == "sweep":
         query = workload(args.workload)
         space = session.space(query, resolution=args.resolution)
+        algorithms = [a.strip() for a in args.algorithms.split(",")
+                      if a.strip()]
+        durable = (args.journal is not None or args.resume is not None
+                   or args.deadline is not None
+                   or args.cost_budget is not None
+                   or args.breaker is not None)
+        if durable:
+            return _durable_sweep(out, session, query, space, algorithms,
+                                  args)
         rows = []
-        for name in ("planbouquet", "spillbound", "alignedbound"):
+        for name in algorithms:
             algorithm = session.algorithm(name, query=query,
                                           resolution=args.resolution)
             sweep = session.sweep(query, algorithm, sample=args.sample,
-                                  spec=args.engine,
+                                  rng=args.rng, spec=args.engine,
                                   resolution=args.resolution)
             rows.append((algorithm.name, algorithm.mso_guarantee(),
                          sweep.mso, sweep.aso))

@@ -1,0 +1,227 @@
+"""Crash-safe filesystem primitives shared by the durability layer.
+
+Three building blocks, none requiring anything beyond the standard
+library:
+
+* **atomic replacement** -- :func:`atomic_write_bytes` /
+  :func:`atomic_write_json` write to a same-directory temp file and
+  ``os.replace`` it into place, so readers observe either the old or the
+  new content, never a torn intermediate (the bug class that corrupted
+  checkpoints written mid-crash);
+* **CRC-framed journal lines** -- :func:`encode_record` /
+  :func:`decode_record` frame one JSON payload per line with a CRC32
+  prefix, letting a replayer distinguish a torn tail (truncated final
+  append) from genuine corruption;
+* **inter-process locking** -- :class:`FileLock`, an ``O_EXCL``
+  lock-file mutex with PID-based staleness detection, serialising
+  writers that share a cache or journal directory across processes.
+
+SIGKILL-grade durability is the design point: state must survive the
+*process* dying at any instruction. Power-loss durability additionally
+needs ``fsync`` on every write, which callers opt into via
+``fsync=True`` where the cost is warranted (journal appends are
+per-sweep-unit, not per-execution, so the default is on there).
+"""
+
+import json
+import os
+import time
+import zlib
+
+from repro.common.errors import ReproError
+
+
+class LockTimeoutError(ReproError):
+    """Raised when a :class:`FileLock` cannot be acquired in time."""
+
+
+def _fsync_directory(path):
+    """Best-effort fsync of the directory containing ``path`` (POSIX
+    rename durability); silently skipped where unsupported."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, data, fsync=True):
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target directory so the final rename
+    never crosses filesystems. A crash at any point leaves either the
+    previous content or the new content at ``path`` -- never a prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    tmp = os.path.join(directory, ".%s.tmp.%d" % (
+        os.path.basename(path), os.getpid()))
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if fsync:
+            _fsync_directory(path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text, fsync=True):
+    """Atomic UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path, payload, fsync=True, indent=2):
+    """Serialise ``payload`` and install it at ``path`` atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    atomic_write_text(path, text + "\n", fsync=fsync)
+
+
+# ----------------------------------------------------------------------
+# CRC-framed JSONL records
+
+
+def encode_record(payload):
+    """One WAL line: ``<crc32 hex8> <canonical json>\\n``.
+
+    The CRC covers the canonical JSON bytes, so any torn or bit-flipped
+    line fails verification on replay instead of being half-parsed.
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    data = body.encode("utf-8")
+    return "%08x %s\n" % (zlib.crc32(data) & 0xFFFFFFFF, body)
+
+
+def decode_record(line):
+    """Parse one WAL line back into its payload.
+
+    Raises :class:`ValueError` for anything that fails framing, CRC or
+    JSON checks -- the replayer decides whether that means a torn tail
+    (truncate) or corruption (refuse).
+    """
+    line = line.rstrip("\n")
+    if len(line) < 10 or line[8] != " ":
+        raise ValueError("malformed journal line framing")
+    crc_text, body = line[:8], line[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        raise ValueError("malformed journal CRC %r" % crc_text) from None
+    data = body.encode("utf-8")
+    if zlib.crc32(data) & 0xFFFFFFFF != expected:
+        raise ValueError("journal CRC mismatch")
+    payload = json.loads(body)
+    if not isinstance(payload, dict):
+        raise ValueError("journal record is not an object")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# inter-process locking
+
+
+class FileLock:
+    """``O_EXCL`` lock-file mutex for cross-process critical sections.
+
+    The lock is the *existence* of ``path``: acquisition atomically
+    creates it (``O_CREAT | O_EXCL``) with the owner's PID inside, and
+    release unlinks it. A lock whose owner is no longer alive (the
+    SIGKILL case) or whose file is older than ``stale_after`` seconds
+    is broken and re-acquired, so a killed process never wedges the
+    resource forever. No dependencies beyond ``os``.
+    """
+
+    def __init__(self, path, timeout=10.0, poll=0.02, stale_after=600.0):
+        self.path = path
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self._held = False
+
+    # ------------------------------------------------------------------
+
+    def _try_acquire(self):
+        try:
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write("%d\n" % os.getpid())
+        return True
+
+    def _is_stale(self):
+        """A lock is stale when its owner died or it outlived the cap."""
+        try:
+            with open(self.path) as handle:
+                pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            # Unreadable owner: fall back to the age check alone.
+            pid = 0
+        if pid > 0:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except PermissionError:
+                pass  # alive, but owned by someone else
+            except OSError:
+                pass
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return False  # vanished: retry the acquire loop
+        return age > self.stale_after
+
+    def acquire(self):
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                self._held = True
+                return self
+            if self._is_stale():
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                raise LockTimeoutError(
+                    "could not acquire lock %s within %.1fs"
+                    % (self.path, self.timeout))
+            time.sleep(self.poll)
+
+    def release(self):
+        if self._held:
+            self._held = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    @property
+    def held(self):
+        return self._held
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc):
+        self.release()
+
+    def __repr__(self):
+        return "FileLock(%r, %s)" % (
+            self.path, "held" if self._held else "free")

@@ -59,6 +59,29 @@ class TransientEngineError(ReproError):
     """
 
 
+class DeadlineExceededError(ReproError):
+    """Raised when a cooperative :class:`~repro.robustness.durable.Deadline`
+    expires at an execution boundary.
+
+    ``reason`` is ``"wall_clock"`` or ``"cost_budget"``; ``elapsed`` and
+    ``spent`` record how far past the budgets the run was when the check
+    fired. The graceful-degradation guard converts this into a
+    degraded-but-terminating answer instead of letting it propagate.
+    """
+
+    def __init__(self, message, reason="wall_clock", elapsed=0.0,
+                 spent=0.0):
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed = elapsed
+        self.spent = spent
+
+
+class JournalError(ReproError):
+    """Raised for unusable sweep journals: interior corruption (not a
+    torn tail), config mismatches on resume, or unparseable segments."""
+
+
 class EngineCrashError(ReproError):
     """Raised when an execution environment dies mid-execution.
 

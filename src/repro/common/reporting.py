@@ -41,7 +41,7 @@ def format_table(headers, rows, title=None, floatfmt="{:.2f}"):
 
 #: Column order for degradation accounting tables.
 DEGRADATION_HEADERS = [
-    "run", "degraded", "retries", "wasted cost", "meter drift",
+    "run", "degraded", "reason", "retries", "wasted cost", "meter drift",
     "MSO inflation", "notes",
 ]
 
@@ -52,8 +52,9 @@ def degradation_rows(items):
     ``items`` is an iterable of ``(label, extras)`` pairs where
     ``extras`` is the accounting a
     :class:`repro.robustness.guard.DiscoveryGuard` records in
-    ``RunResult.extras`` (``degraded``, ``retries``, ``wasted_cost``,
-    ``meter_drift``, ``effective_mso_inflation``, ``violations``).
+    ``RunResult.extras`` (``degraded``, ``degraded_reason``,
+    ``retries``, ``wasted_cost``, ``meter_drift``,
+    ``effective_mso_inflation``, ``violations``).
     """
     rows = []
     for label, extras in items:
@@ -64,6 +65,7 @@ def degradation_rows(items):
         rows.append((
             label,
             "yes" if extras.get("degraded") else "no",
+            extras.get("degraded_reason") or "-",
             int(extras.get("retries", 0)),
             float(extras.get("wasted_cost", 0.0)),
             float(extras.get("meter_drift", 0.0)),
@@ -71,6 +73,25 @@ def degradation_rows(items):
             notes,
         ))
     return rows
+
+
+def degradation_summary(items):
+    """Aggregate counts over many runs' guard accounting.
+
+    Returns a dict with ``runs``, ``degraded`` and one entry per
+    observed ``degraded_reason`` (``retries-exhausted``,
+    ``deadline-wall_clock``, ``deadline-cost_budget``, ``breaker-open``),
+    so sweep-level tables can report *why* units fell back without
+    keeping every run alive.
+    """
+    summary = {"runs": 0, "degraded": 0}
+    for _label, extras in items:
+        summary["runs"] += 1
+        if extras.get("degraded"):
+            summary["degraded"] += 1
+            reason = extras.get("degraded_reason") or "unknown"
+            summary[reason] = summary.get(reason, 0) + 1
+    return summary
 
 
 def format_degradation(items, title="Degradation accounting"):

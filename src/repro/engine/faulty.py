@@ -121,6 +121,77 @@ class FaultPlan:
             kwargs[keys[name]] = float(value)
         return cls(**kwargs)
 
+    def to_dict(self):
+        """JSON-safe form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "crash_rate": self.crash_rate,
+            "transient_rate": self.transient_rate,
+            "corruption_rate": self.corruption_rate,
+            "drift_rate": self.drift_rate,
+            "drift_factor": self.drift_factor,
+            "seed": self.seed,
+            "crash_on_calls": sorted(self.crash_on_calls),
+            "transient_on_calls": sorted(self.transient_on_calls),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a plan serialized by :meth:`to_dict` (e.g. in another
+        process); the rebuilt plan injects the identical schedule."""
+        return cls(**payload)
+
+    def fault_at(self, ordinal, mode="execute", resolution=None):
+        """The decision the engine will take at call ``ordinal``.
+
+        Replicates :class:`FaultyEngine`'s draw order exactly --
+        transient, then crash (plus its lost-spend fraction), then for
+        spill executions the monitor corruption (plus the corrupted
+        index, which needs the dimension's ``resolution``), then meter
+        drift -- including the short-circuits (a transient consumes no
+        further draws, a crash aborts before drift). Returns a JSON-safe
+        dict with ``call``, ``fault`` (``"transient"``, ``"crash"``,
+        ``"corrupt"``, ``"drift"`` or ``None``) and the fault's drawn
+        parameters.
+        """
+        if mode not in ("execute", "spill"):
+            raise ValueError("mode must be 'execute' or 'spill'")
+        if mode == "spill" and self.corruption_rate > 0.0 \
+                and resolution is None:
+            raise ValueError(
+                "spill schedules with corruption need resolution=")
+        rng = np.random.default_rng((self.seed, ordinal))
+        if ordinal in self.transient_on_calls \
+                or rng.uniform() < self.transient_rate:
+            return {"call": ordinal, "fault": "transient"}
+        if ordinal in self.crash_on_calls \
+                or rng.uniform() < self.crash_rate:
+            fraction = rng.uniform(CRASH_SPEND_LO, CRASH_SPEND_HI)
+            return {"call": ordinal, "fault": "crash",
+                    "spend_fraction": float(fraction)}
+        decision = {"call": ordinal, "fault": None}
+        if mode == "spill" and rng.uniform() < self.corruption_rate:
+            decision["fault"] = "corrupt"
+            decision["learned_index"] = int(
+                rng.integers(-1, int(resolution)))
+        if rng.uniform() < self.drift_rate:
+            factor = rng.uniform(1.0, self.drift_factor)
+            if decision["fault"] is None:
+                decision["fault"] = "drift"
+            decision["drift_factor"] = float(factor)
+        return decision
+
+    def schedule(self, calls, mode="execute", resolution=None):
+        """The first ``calls`` decisions (see :meth:`fault_at`).
+
+        Because draws are keyed by ``(seed, ordinal)``, the schedule is
+        a pure function of the plan -- any process that deserializes the
+        same plan computes the same schedule, which is what makes
+        fault-injection runs reproducible across crash/resume
+        boundaries.
+        """
+        return [self.fault_at(o, mode=mode, resolution=resolution)
+                for o in range(1, calls + 1)]
+
     def describe(self):
         """Short human-readable summary for reports."""
         parts = []

@@ -480,7 +480,8 @@ def ablation_cost_error(name="2D_Q91", deltas=(0.0, 0.1, 0.3, 0.5),
 
 def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
                 resolution=None, sweep_sample=64, rng=0, fault_seed=23,
-                max_retries=3):
+                max_retries=3, deadline=None, cost_budget=None,
+                breaker=None):
     """Robustness ablation: MSO degradation vs. substrate fault rate.
 
     Mirrors the §7 delta-sweep, but the imperfection swept is the
@@ -490,17 +491,24 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
     that, and a :class:`~repro.robustness.guard.DiscoveryGuard` drives
     SpillBound to a terminating answer at every sampled location. The
     table reports how the empirical MSO/ASO, degradation share, retry
-    count and wasted spend grow with the fault rate.
+    count, wasted spend and watchdog interventions (deadline expiries,
+    breaker fast-fails) grow with the fault rate.
+
+    ``deadline``/``cost_budget`` attach a fresh per-rate
+    :class:`~repro.robustness.durable.Deadline`; ``breaker`` (an int
+    threshold) a fresh per-rate
+    :class:`~repro.robustness.durable.CircuitBreaker`. All default to
+    off, reproducing the historical accounting exactly.
     """
     from repro.engine.faulty import FaultPlan
-    from repro.robustness import RetryPolicy
+    from repro.robustness import DiscoveryGuard, RetryPolicy
+    from repro.robustness.durable import CircuitBreaker, Deadline
     from repro.session import EngineSpec
 
     session = _session()
-    guard = session.algorithm(
-        "spillbound", query=name, resolution=resolution,
-        guard=RetryPolicy(max_retries=max_retries))
-    space = guard.space
+    algorithm = session.algorithm("spillbound", query=name,
+                                  resolution=resolution)
+    space = algorithm.space
     grid = space.grid
     if sweep_sample is not None and sweep_sample < grid.size:
         flats = np.random.default_rng(rng).choice(
@@ -508,14 +516,27 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
     else:
         flats = np.arange(grid.size)
 
-    report = Report("Fault sweep: %s under an unreliable substrate (%s)"
-                    % (guard.name, name))
+    report = Report("Fault sweep: guarded-%s under an unreliable "
+                    "substrate (%s)" % (algorithm.name, name))
     spec = EngineSpec.parse("simulated+faulty()")
     rows = []
     worst = []
     for rate in rates:
+        # Fresh watchdogs per rate row, so one rate's expired budget or
+        # tripped breaker cannot leak into the next.
+        rate_deadline = None
+        if deadline is not None or cost_budget is not None:
+            rate_deadline = Deadline(wall_limit=deadline,
+                                     cost_limit=cost_budget)
+        rate_breaker = CircuitBreaker(threshold=breaker) \
+            if breaker is not None else None
+        guard = DiscoveryGuard(
+            algorithm, policy=RetryPolicy(max_retries=max_retries),
+            deadline=rate_deadline, breaker=rate_breaker)
         subopts = []
         degraded = 0
+        deadline_hits = 0
+        breaker_hits = 0
         retries = 0
         wasted = 0.0
         answered = 0.0
@@ -533,6 +554,9 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
             subopts.append(result.sub_optimality)
             extras = result.extras
             degraded += bool(extras.get("degraded"))
+            reason = extras.get("degraded_reason") or ""
+            deadline_hits += reason.startswith("deadline-")
+            breaker_hits += reason == "breaker-open"
             retries += int(extras.get("retries", 0))
             wasted += float(extras.get("wasted_cost", 0.0))
             answered += result.total_cost
@@ -547,11 +571,13 @@ def fault_sweep(name="2D_Q91", rates=(0.0, 0.05, 0.1, 0.2, 0.4),
             100.0 * degraded / n,
             retries / n,
             100.0 * wasted / spend if spend else 0.0,
+            deadline_hits,
+            breaker_hits,
         ))
     report.add_table(
         "Guarded SpillBound vs fault rate (%d locations)" % len(flats),
         ["crash rate", "MSOe", "ASO", "degraded %", "retries/run",
-         "wasted %"],
+         "wasted %", "deadline", "breaker"],
         rows,
     )
     report.add_degradation(

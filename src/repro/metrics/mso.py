@@ -10,14 +10,21 @@ import numpy as np
 
 
 class SweepResult:
-    """Per-location sub-optimalities for one algorithm over a space."""
+    """Per-location sub-optimalities for one algorithm over a space.
 
-    __slots__ = ("algorithm", "sub_optimalities", "shape")
+    ``extras`` aggregates per-run accounting across the sweep (guarded
+    runs report ``degraded`` and ``degraded_reasons`` tallies there), so
+    reports can distinguish *why* locations degraded without keeping
+    every :class:`RunResult` alive.
+    """
 
-    def __init__(self, algorithm, sub_optimalities, shape):
+    __slots__ = ("algorithm", "sub_optimalities", "shape", "extras")
+
+    def __init__(self, algorithm, sub_optimalities, shape, extras=None):
         self.algorithm = algorithm
         self.sub_optimalities = sub_optimalities
         self.shape = shape
+        self.extras = extras or {}
 
     @property
     def mso(self):
@@ -45,7 +52,7 @@ class SweepResult:
 
 
 def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
-                     engine_factory=None):
+                     engine_factory=None, checkpoint_factory=None):
     """Run ``algorithm`` with every grid location as the hidden truth.
 
     Parameters
@@ -62,16 +69,36 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
     engine_factory:
         Optional ``f(qa_index) -> engine`` substituting the execution
         environment per run (e.g. a cost-model-error engine).
+    checkpoint_factory:
+        Optional ``f(qa_index) -> DiscoveryCheckpoint`` supplying the
+        per-run checkpoint (journaled sweeps persist these as sidecars;
+        capture is passive, so results are unchanged).
 
     Returns a :class:`SweepResult` whose array is grid-shaped for full
-    sweeps and flat for sampled sweeps.
+    sweeps and flat for sampled sweeps. Degradation accounting from
+    guarded runs is tallied into ``SweepResult.extras``.
     """
     space = algorithm.space
     grid = space.grid
+    degraded = 0
+    reasons = {}
 
     def run_at(index):
+        nonlocal degraded
         engine = engine_factory(index) if engine_factory else None
-        return algorithm.run(index, engine=engine).sub_optimality
+        checkpoint = checkpoint_factory(index) if checkpoint_factory \
+            else None
+        result = algorithm.run(index, engine=engine,
+                               checkpoint=checkpoint)
+        if result.extras.get("degraded"):
+            degraded += 1
+            reason = result.extras.get("degraded_reason") or "unknown"
+            reasons[reason] = reasons.get(reason, 0) + 1
+        return result.sub_optimality
+
+    def extras():
+        return {"degraded": degraded, "degraded_reasons": dict(reasons)} \
+            if degraded else {}
 
     total = grid.size
     if sample is not None and sample < total:
@@ -82,12 +109,14 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
             subopts[pos] = run_at(grid.unflat(int(flat)))
             if progress:
                 progress(pos + 1, sample)
-        return SweepResult(algorithm.name, subopts, (sample,))
+        return SweepResult(algorithm.name, subopts, (sample,),
+                           extras=extras())
     subopts = np.empty(total)
     for flat in range(total):
         subopts[flat] = run_at(grid.unflat(flat))
         if progress:
             progress(flat + 1, total)
     return SweepResult(
-        algorithm.name, subopts.reshape(grid.shape), grid.shape
+        algorithm.name, subopts.reshape(grid.shape), grid.shape,
+        extras=extras()
     )

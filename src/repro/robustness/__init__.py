@@ -6,9 +6,30 @@ This subsystem makes discovery *survive* a faulty one: a
 bounded retry policy, validates run-time invariants, resumes crashed
 runs from a :class:`DiscoveryCheckpoint`, and -- when all else fails --
 degrades gracefully to the native-optimizer path instead of raising.
+
+The durability half (:mod:`repro.robustness.durable`) extends the same
+contract from single runs to whole sweeps: a write-ahead
+:class:`SweepJournal` survives the process being killed, a cooperative
+:class:`Deadline` bounds wall-clock and cost spend, and a per-engine
+:class:`CircuitBreaker` fast-fails units on a substrate that is down.
+:mod:`repro.robustness.chaos` kill-tests the whole stack.
 """
 
 from repro.robustness.checkpoint import DiscoveryCheckpoint
+from repro.robustness.durable import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineEngine,
+    SweepJournal,
+)
 from repro.robustness.guard import DiscoveryGuard, RetryPolicy
 
-__all__ = ["DiscoveryCheckpoint", "DiscoveryGuard", "RetryPolicy"]
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineEngine",
+    "DiscoveryCheckpoint",
+    "DiscoveryGuard",
+    "RetryPolicy",
+    "SweepJournal",
+]

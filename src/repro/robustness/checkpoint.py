@@ -15,6 +15,9 @@ when no faults fire. They serialise to JSON for cross-process resume.
 """
 
 import json
+import warnings
+
+from repro.common.atomicio import atomic_write_json
 
 
 class DiscoveryCheckpoint:
@@ -22,13 +25,17 @@ class DiscoveryCheckpoint:
 
     ``path`` optionally persists every capture to a JSON file, enabling
     resume across processes (a killed CLI run picks up where it died).
+    ``qa_index`` optionally names the hidden truth the snapshot belongs
+    to, so a sweep resuming from a sidecar file can verify it is seeding
+    the *same* run the crash interrupted and not a neighbouring one.
     """
 
-    __slots__ = ("path", "active", "contour", "resolved", "qrun",
-                 "remaining", "executed", "captures")
+    __slots__ = ("path", "qa_index", "active", "contour", "resolved",
+                 "qrun", "remaining", "executed", "captures")
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, qa_index=None):
         self.path = path
+        self.qa_index = None if qa_index is None else tuple(qa_index)
         self.clear()
 
     def clear(self):
@@ -83,6 +90,8 @@ class DiscoveryCheckpoint:
 
     def to_dict(self):
         return {
+            "qa_index": None if self.qa_index is None
+            else [int(i) for i in self.qa_index],
             "active": self.active,
             "contour": self.contour,
             "resolved": {str(d): int(i) for d, i in self.resolved.items()},
@@ -96,6 +105,9 @@ class DiscoveryCheckpoint:
     @classmethod
     def from_dict(cls, payload, path=None):
         checkpoint = cls(path=None)
+        qa = payload.get("qa_index")
+        checkpoint.qa_index = None if qa is None \
+            else tuple(int(i) for i in qa)
         checkpoint.active = bool(payload.get("active", False))
         checkpoint.contour = int(payload.get("contour", 0))
         checkpoint.resolved = {
@@ -114,14 +126,35 @@ class DiscoveryCheckpoint:
         return checkpoint
 
     def save(self, path):
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+        """Persist atomically: a crash mid-save leaves the previous
+        snapshot intact, never a torn file (the artifact exists to
+        survive exactly such crashes)."""
+        atomic_write_json(path, self.to_dict(), fsync=False)
 
     @classmethod
     def load(cls, path):
-        with open(path) as handle:
-            payload = json.load(handle)
-        return cls.from_dict(payload, path=path)
+        """Load a persisted snapshot, rejecting damage instead of
+        crashing on it.
+
+        A truncated or corrupt file (pre-atomic-write leftovers, disk
+        damage) is *reported* via a warning and yields a fresh inactive
+        checkpoint bound to ``path`` -- losing a checkpoint costs a
+        re-discovery, never the run.
+        """
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint payload is not an object")
+            return cls.from_dict(payload, path=path)
+        except FileNotFoundError:
+            raise
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            warnings.warn(
+                "discarding corrupt checkpoint %s (%s); discovery will "
+                "restart from scratch" % (path, exc),
+                RuntimeWarning, stacklevel=2)
+            return cls(path=path)
 
     def __repr__(self):
         if not self.active:

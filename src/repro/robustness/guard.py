@@ -33,11 +33,13 @@ performed unguarded.
 from repro.algorithms.base import RobustAlgorithm
 from repro.algorithms.native import NativeOptimizer
 from repro.common.errors import (
+    DeadlineExceededError,
     DiscoveryError,
     EngineCrashError,
     TransientEngineError,
 )
 from repro.robustness.checkpoint import DiscoveryCheckpoint
+from repro.robustness.durable import DeadlineEngine
 
 #: Relative slack for spend-vs-budget reconciliation, absorbing the one
 #: overshooting charge a metered executor may take before aborting.
@@ -78,15 +80,28 @@ class DiscoveryGuard(RobustAlgorithm):
 
     ``checkpoint_path`` optionally persists discovery checkpoints to a
     JSON file so a killed *process* can also resume.
+
+    ``deadline`` optionally attaches a cooperative
+    :class:`~repro.robustness.durable.Deadline`: every budgeted
+    execution is preceded by a check and followed by a spend charge
+    (via a :class:`~repro.robustness.durable.DeadlineEngine` proxy), and
+    an expired deadline degrades to the native fallback with the reason
+    accounted in ``extras`` instead of raising. ``breaker`` optionally
+    attaches a :class:`~repro.robustness.durable.CircuitBreaker` shared
+    across runs: when open, runs fast-fail to the fallback without
+    burning their retry budget. Both default to ``None`` and add zero
+    work when absent.
     """
 
     def __init__(self, algorithm, policy=None, fallback=None,
-                 checkpoint_path=None):
+                 checkpoint_path=None, deadline=None, breaker=None):
         super().__init__(algorithm.space)
         self.algorithm = algorithm
         self.policy = policy or RetryPolicy()
         self._fallback = fallback
         self.checkpoint_path = checkpoint_path
+        self.deadline = deadline
+        self.breaker = breaker
         self.name = "guarded-" + algorithm.name
         self._validate_ladder()
 
@@ -106,15 +121,48 @@ class DiscoveryGuard(RobustAlgorithm):
         qa_index = tuple(qa_index)
         checkpoint = checkpoint or DiscoveryCheckpoint(
             path=self.checkpoint_path)
+        if checkpoint.qa_index is None:
+            checkpoint.qa_index = qa_index
+        elif tuple(checkpoint.qa_index) != qa_index:
+            # A snapshot from a *different* run's truth would poison
+            # this one; forget it rather than resume from it.
+            checkpoint.clear()
+            checkpoint.qa_index = qa_index
         retries = 0
         wasted = 0.0
         escalations = 0
         last_failed_contour = None
         violations = []
+        deadline = self.deadline
+        breaker = self.breaker
         while True:
+            if breaker is not None and not breaker.allow():
+                return self._degrade(
+                    qa_index, engine, retries, wasted,
+                    ["circuit breaker open after %d consecutive engine "
+                     "crashes" % breaker.failures],
+                    reason="breaker-open")
+            metered = None
+            attempt_engine = engine
+            if deadline is not None:
+                metered = DeadlineEngine(
+                    attempt_engine if attempt_engine is not None
+                    else self.algorithm.engine_for(qa_index), deadline)
+                attempt_engine = metered
             try:
                 result = self.algorithm.run(
-                    qa_index, engine=engine, checkpoint=checkpoint)
+                    qa_index, engine=attempt_engine,
+                    checkpoint=checkpoint)
+            except DeadlineExceededError as exc:
+                # An expired budget is not damage to retry through: the
+                # partial attempt's spend is wasted, and the fallback
+                # produces the degraded-but-terminating answer.
+                wasted += metered.spent_this_run if metered else 0.0
+                return self._degrade(
+                    qa_index, engine, retries, wasted,
+                    ["deadline exceeded (%s) after %.3gs / %.4g cost "
+                     "units" % (exc.reason, exc.elapsed, exc.spent)],
+                    reason="deadline-%s" % exc.reason)
             except TransientEngineError:
                 retries += 1
                 if retries > self.policy.max_retries:
@@ -126,6 +174,8 @@ class DiscoveryGuard(RobustAlgorithm):
                 escalations += stepped
                 continue
             except EngineCrashError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 wasted += float(exc.spent or 0.0)
                 retries += 1
                 if retries > self.policy.max_retries:
@@ -148,6 +198,10 @@ class DiscoveryGuard(RobustAlgorithm):
                         ["discovery aborted: %s" % exc])
                 continue
 
+            if breaker is not None:
+                # The attempt terminated without crashing: the crash
+                # streak is broken regardless of validation below.
+                breaker.record_success()
             violations, drift = self._validate(result, engine, escalations)
             if violations:
                 # The run terminated but its learning is provably
@@ -186,14 +240,23 @@ class DiscoveryGuard(RobustAlgorithm):
                 stepped = 1
         return checkpoint.contour, stepped
 
-    def _degrade(self, qa_index, engine, retries, wasted, violations):
-        """Fall back to the native-optimizer path instead of raising."""
+    def _degrade(self, qa_index, engine, retries, wasted, violations,
+                 reason="retries-exhausted"):
+        """Fall back to the native-optimizer path instead of raising.
+
+        ``reason`` classifies *why* the unit degraded
+        (``retries-exhausted``, ``deadline-wall_clock``,
+        ``deadline-cost_budget``, ``breaker-open``) for the degradation
+        tables, which previously could not distinguish a hung substrate
+        from an exhausted retry ladder.
+        """
         sound = engine
         if sound is not None and hasattr(sound, "sound"):
             sound = sound.sound()
         result = self.fallback.run(qa_index, engine=sound)
         result.extras.update({
             "degraded": True,
+            "degraded_reason": reason,
             "fallback": self.fallback.name,
             "retries": retries,
             "wasted_cost": wasted,
@@ -207,6 +270,7 @@ class DiscoveryGuard(RobustAlgorithm):
     def _finalize(self, result, retries, wasted, drift):
         result.extras.update({
             "degraded": False,
+            "degraded_reason": None,
             "retries": retries,
             "wasted_cost": wasted,
             "effective_mso_inflation":

@@ -19,6 +19,7 @@ from repro.session.cache import ArtifactCache, CacheStats, SpaceKey
 from repro.session.registry import (
     BASE_ENGINES,
     ENGINE_LAYERS,
+    BreakerBoard,
     EngineSpec,
     register_base,
     register_layer,
@@ -35,6 +36,7 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "SpaceKey",
+    "BreakerBoard",
     "EngineSpec",
     "BASE_ENGINES",
     "ENGINE_LAYERS",

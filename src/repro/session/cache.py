@@ -32,6 +32,7 @@ import json
 import os
 from collections import OrderedDict
 
+from repro.common.atomicio import FileLock, LockTimeoutError
 from repro.common.errors import DiscoveryError
 from repro.ess.contours import ContourSet
 from repro.ess.persistence import FORMAT_VERSION, load_space, save_space
@@ -251,7 +252,32 @@ class ArtifactCache:
         return space
 
     def _store_disk(self, key, space):
+        """Publish the archive atomically, one writer at a time.
+
+        The archive is written to a same-directory temp file and
+        renamed into place, so concurrent readers only ever see a
+        complete ``.npz`` (a killed writer leaves a temp file, never a
+        truncated archive). A lock file serialises writers; losing the
+        race is harmless -- the winner's archive is byte-equivalent
+        because the path is content-addressed -- so a lock timeout
+        skips the store instead of failing the build.
+        """
         if self.cache_dir is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
-        save_space(space, self._archive_path(key))
+        path = self._archive_path(key)
+        lock = FileLock(path + ".lock", timeout=10.0)
+        try:
+            lock.acquire()
+        except LockTimeoutError:
+            return
+        tmp = os.path.join(
+            self.cache_dir,
+            ".%s.tmp.%d.npz" % (key.digest(), os.getpid()))
+        try:
+            save_space(space, tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            lock.release()

@@ -235,6 +235,52 @@ class EngineSpec:
         return "EngineSpec(%r)" % self.describe()
 
 
+# ----------------------------------------------------------------------
+# per-engine circuit breakers
+
+
+class BreakerBoard:
+    """One :class:`~repro.robustness.durable.CircuitBreaker` per engine.
+
+    Breakers are keyed by the spec's canonical string
+    (:meth:`EngineSpec.describe`), so every unit of a sweep that runs on
+    the same substrate shares one breaker: after ``threshold``
+    consecutive :class:`~repro.common.errors.EngineCrashError`\\ s on
+    that substrate the breaker opens and later units fast-fail to the
+    native fallback instead of burning their full retry budget.
+    """
+
+    __slots__ = ("threshold", "cooldown", "_breakers")
+
+    def __init__(self, threshold=3, cooldown=8):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._breakers = {}
+
+    def breaker_for(self, spec):
+        """The shared breaker for ``spec`` (created on first use)."""
+        from repro.robustness.durable import CircuitBreaker
+
+        key = spec.describe() if isinstance(spec, EngineSpec) else str(spec)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(threshold=self.threshold,
+                                     cooldown=self.cooldown)
+            self._breakers[key] = breaker
+        return breaker
+
+    def open_count(self):
+        """Total times any breaker on the board tripped open."""
+        return sum(b.opened for b in self._breakers.values())
+
+    def __len__(self):
+        return len(self._breakers)
+
+    def __repr__(self):
+        return "BreakerBoard(%d engines, %d opens)" % (
+            len(self._breakers), self.open_count())
+
+
 def _parse_segment(segment):
     """``"name(k=v,k=v)"`` -> ``(name, {k: float(v), ...})``."""
     name, paren, rest = segment.partition("(")

@@ -29,7 +29,7 @@ from repro.ess.parallel import parallel_exact_build
 from repro.ess.space import ExplorationSpace
 from repro.robustness import DiscoveryGuard, RetryPolicy
 from repro.session.cache import ArtifactCache, SpaceKey
-from repro.session.registry import EngineSpec
+from repro.session.registry import BreakerBoard, EngineSpec
 
 #: name -> factory(space, contours, **kwargs). Contour-free baselines
 #: simply ignore the contours argument.
@@ -75,11 +75,18 @@ class RobustSession:
         Attach a :class:`~repro.robustness.guard.DiscoveryGuard` to
         every algorithm the session hands out: ``True`` for the default
         :class:`RetryPolicy`, or a policy instance.
+    breaker:
+        Per-engine circuit breaking for guarded runs: ``True`` for a
+        default :class:`~repro.session.registry.BreakerBoard`, or a
+        board instance. Units sharing a substrate then share its
+        breaker -- after its threshold of consecutive engine crashes
+        later runs fast-fail to the native fallback.
     """
 
     def __init__(self, cache_dir=None, memory_slots=None, resolution=None,
                  mode="fast", s_min=1e-6, rng=0, ratio=2.0, workers=None,
-                 engine_spec="simulated", database=None, guard=None):
+                 engine_spec="simulated", database=None, guard=None,
+                 breaker=None):
         kwargs = {} if memory_slots is None else \
             {"memory_slots": memory_slots}
         self.cache = ArtifactCache(cache_dir=cache_dir, **kwargs)
@@ -94,6 +101,9 @@ class RobustSession:
         if guard is True:
             guard = RetryPolicy()
         self.guard_policy = guard
+        if breaker is True:
+            breaker = BreakerBoard()
+        self.breakers = breaker
 
     # ------------------------------------------------------------------
     # resolution of inputs
@@ -207,7 +217,7 @@ class RobustSession:
 
     def algorithm(self, algorithm="spillbound", query=None, space=None,
                   contours=None, guard=None, ratio=None, resolution=None,
-                  **kwargs):
+                  deadline=None, breaker=None, **kwargs):
         """An algorithm instance wired to cached artifacts.
 
         ``algorithm`` is a registry name, a class with the
@@ -215,7 +225,11 @@ class RobustSession:
         instance (returned as-is, possibly guarded). Extra ``kwargs``
         (``lam=``, ``seed=``) go to the algorithm factory. With a
         session guard policy (or ``guard=`` override) the instance is
-        wrapped in a :class:`DiscoveryGuard`.
+        wrapped in a :class:`DiscoveryGuard`; ``deadline=`` and
+        ``breaker=`` attach durability watchdogs to that guard (and
+        imply a default one when the session has none). A session-level
+        :class:`BreakerBoard` supplies the per-engine breaker when no
+        explicit one is given.
         """
         instance = None
         if not isinstance(algorithm, (str, type)):
@@ -243,8 +257,14 @@ class RobustSession:
         policy = self.guard_policy if guard is None else guard
         if policy is True:
             policy = RetryPolicy()
+        if breaker is None and self.breakers is not None:
+            breaker = self.breakers.breaker_for(self.engine_spec)
+        if not policy and (deadline is not None or breaker is not None):
+            # Watchdogs live on the guard; requesting one implies it.
+            policy = RetryPolicy()
         if policy:
-            instance = DiscoveryGuard(instance, policy=policy)
+            instance = DiscoveryGuard(instance, policy=policy,
+                                      deadline=deadline, breaker=breaker)
         return instance
 
     # ------------------------------------------------------------------

@@ -8,9 +8,34 @@ session's cache, sweeps run through
 :func:`repro.metrics.mso.exhaustive_sweep`, and results are emitted as a
 uniform stream of :class:`SweepRecord` items that report builders
 consume (``driver.grid(...)`` groups them back per query).
+
+Durability (all opt-in, inert by default):
+
+* ``journal=`` brackets every ``(query, algorithm)`` unit with
+  ``BEGIN``/``COMMIT`` records in a
+  :class:`~repro.robustness.durable.SweepJournal` write-ahead log.
+  Re-running a driver against an existing journal *replays* committed
+  units from the log -- bit-identical results, zero re-execution -- and
+  re-runs only in-flight/pending ones (the ``--resume`` path a killed
+  process takes). The in-flight unit composes with PR 1's per-run
+  checkpoint: discovery state is persisted to a sidecar inside the
+  journal directory, and ``reuse_inflight=True`` seeds the matching run
+  from it on resume (faster, but the resumed run's spend accounting
+  differs from an uninterrupted one, so it is off by default).
+* ``deadline=`` / ``breaker=`` attach a cooperative
+  :class:`~repro.robustness.durable.Deadline` and a per-engine
+  :class:`~repro.robustness.durable.CircuitBreaker` to every guarded
+  unit, so a sweep terminates within a wall-clock/cost budget and
+  fast-fails on a substrate that is down.
 """
 
-from repro.metrics.mso import exhaustive_sweep
+import os
+
+import numpy as np
+
+from repro.metrics.mso import SweepResult, exhaustive_sweep
+from repro.robustness import DiscoveryCheckpoint
+from repro.robustness.durable import SweepJournal
 
 
 class SweepRecord:
@@ -18,16 +43,21 @@ class SweepRecord:
 
     ``sweep`` is the :class:`~repro.metrics.mso.SweepResult`;
     ``instance`` the algorithm object that ran it (for guarantees and
-    extras); ``query_name`` / ``algorithm`` name the cell.
+    extras); ``query_name`` / ``algorithm`` name the cell. ``replayed``
+    marks a unit served from a journal's COMMIT record instead of being
+    re-executed.
     """
 
-    __slots__ = ("query_name", "algorithm", "instance", "sweep")
+    __slots__ = ("query_name", "algorithm", "instance", "sweep",
+                 "replayed")
 
-    def __init__(self, query_name, algorithm, instance, sweep):
+    def __init__(self, query_name, algorithm, instance, sweep,
+                 replayed=False):
         self.query_name = query_name
         self.algorithm = algorithm
         self.instance = instance
         self.sweep = sweep
+        self.replayed = replayed
 
     @property
     def mso(self):
@@ -38,8 +68,32 @@ class SweepRecord:
         return self.sweep.aso
 
     def __repr__(self):
-        return "SweepRecord(%s/%s, MSO=%.2f, ASO=%.2f)" % (
-            self.query_name, self.algorithm, self.mso, self.aso)
+        return "SweepRecord(%s/%s, MSO=%.2f, ASO=%.2f%s)" % (
+            self.query_name, self.algorithm, self.mso, self.aso,
+            ", replayed" if self.replayed else "")
+
+
+def _sweep_payload(sweep):
+    """JSON-safe COMMIT payload carrying the *full* sweep result.
+
+    Floats go through ``repr`` round-tripping (shortest exact form), so
+    a replayed grid is bit-identical to the one that was committed.
+    """
+    return {
+        "algorithm": sweep.algorithm,
+        "shape": [int(s) for s in sweep.shape],
+        "sub_optimalities": [
+            float(x) for x in np.asarray(sweep.sub_optimalities).ravel()
+        ],
+        "extras": sweep.extras,
+    }
+
+
+def _sweep_from_payload(payload):
+    shape = tuple(int(s) for s in payload["shape"])
+    values = np.array(payload["sub_optimalities"], dtype=float)
+    return SweepResult(payload["algorithm"], values.reshape(shape),
+                       shape, extras=dict(payload.get("extras") or {}))
 
 
 class SweepDriver:
@@ -50,11 +104,16 @@ class SweepDriver:
     overrides the session's grid default, ``lam`` is forwarded to
     PlanBouquet-family factories, ``engine_factory`` substitutes the
     execution environment per hidden truth (overriding the session's
-    engine spec).
+    engine spec). ``journal``, ``deadline``, ``breaker`` and
+    ``reuse_inflight`` add the durability layer (see the module
+    docstring); with all four at their defaults the driver is
+    byte-identical to its pre-durability behaviour.
     """
 
     def __init__(self, session, sample=None, rng=0, resolution=None,
-                 lam=None, ratio=None, engine_factory=None, progress=None):
+                 lam=None, ratio=None, engine_factory=None, progress=None,
+                 journal=None, resume=None, deadline=None, breaker=None,
+                 reuse_inflight=False, engine_label=None):
         self.session = session
         self.sample = sample
         self.rng = rng
@@ -63,6 +122,17 @@ class SweepDriver:
         self.ratio = ratio
         self.engine_factory = engine_factory
         self.progress = progress
+        #: Canonical name of the engine_factory's environment, folded
+        #: into the journal fingerprint (a resume on a different
+        #: substrate must be refused, not replayed).
+        self.engine_label = engine_label
+        self.journal = journal
+        self.resume = resume
+        self.deadline = deadline
+        self.breaker = breaker
+        self.reuse_inflight = reuse_inflight
+        #: Stats of the last journaled ``run`` (replayed/executed).
+        self.journal_stats = None
 
     # ------------------------------------------------------------------
 
@@ -78,8 +148,74 @@ class SweepDriver:
         if self.lam is not None and algorithm in ("planbouquet",
                                                   "randomized"):
             kwargs["lam"] = self.lam
+        if self.deadline is not None or self.breaker is not None:
+            kwargs["deadline"] = self.deadline
+            kwargs["breaker"] = self.breaker
         return self.session.algorithm(algorithm, space=space,
                                       contours=contours, **kwargs)
+
+    @staticmethod
+    def _label(algorithm):
+        """Stable unit label, computable without building artifacts."""
+        if isinstance(algorithm, str):
+            return algorithm
+        return getattr(algorithm, "name", str(algorithm))
+
+    # ------------------------------------------------------------------
+    # journal plumbing
+
+    def _config(self, queries, algorithms):
+        """Sweep fingerprint stored in (and checked against) the WAL."""
+        return {
+            "queries": [self.session.query(q).name for q in queries],
+            "algorithms": [self._label(a) for a in algorithms],
+            "sample": self.sample,
+            "rng": self.rng,
+            "resolution": self.resolution,
+            "lam": self.lam,
+            "ratio": self.ratio,
+            "engine": self.engine_label
+            or self.session.engine_spec.describe(),
+        }
+
+    def _open_journal(self, queries, algorithms):
+        if self.journal is None:
+            return None
+        journal = self.journal
+        if not isinstance(journal, SweepJournal):
+            journal = SweepJournal(os.fspath(journal))
+        journal.open(config=self._config(queries, algorithms),
+                     resume=self.resume)
+        return journal
+
+    def _checkpoint_factory(self, sidecar):
+        """Per-run checkpoints persisted inside the journal directory.
+
+        Composes the WAL with PR 1's run-level resume: a process killed
+        mid-run leaves its certified discovery state in the sidecar, and
+        ``reuse_inflight=True`` seeds the matching run from it on
+        resume. Capture itself is passive, so with ``reuse_inflight``
+        off the sweep results are identical to an unjournaled run.
+        """
+        recovered = None
+        if self.reuse_inflight and os.path.exists(sidecar):
+            loaded = DiscoveryCheckpoint.load(sidecar)
+            if loaded.active and loaded.qa_index is not None:
+                recovered = loaded
+
+        def factory(qa_index):
+            nonlocal recovered
+            if recovered is not None \
+                    and recovered.qa_index == tuple(qa_index):
+                seeded, recovered = recovered, None
+                seeded.path = sidecar
+                return seeded
+            return DiscoveryCheckpoint(path=sidecar,
+                                       qa_index=tuple(qa_index))
+
+        return factory
+
+    # ------------------------------------------------------------------
 
     def run(self, queries, algorithms=("spillbound",)):
         """Yield a :class:`SweepRecord` per (query, algorithm) pair.
@@ -89,17 +225,44 @@ class SweepDriver:
         factories. The stream is ordered query-major, matching the
         paper's tables.
         """
-        for query in queries:
-            resolved = self.session.query(query)
-            for algorithm in algorithms:
-                instance = self.algorithm(algorithm, resolved)
-                sweep = exhaustive_sweep(
-                    instance, sample=self.sample, rng=self.rng,
-                    progress=self.progress,
-                    engine_factory=self.engine_factory)
-                label = algorithm if isinstance(algorithm, str) \
-                    else instance.name
-                yield SweepRecord(resolved.name, label, instance, sweep)
+        queries = list(queries)
+        algorithms = list(algorithms)
+        journal = self._open_journal(queries, algorithms)
+        if journal is not None:
+            self.journal_stats = journal.stats
+        try:
+            for query in queries:
+                resolved = self.session.query(query)
+                for algorithm in algorithms:
+                    yield self._unit(journal, resolved, algorithm)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _unit(self, journal, query, algorithm):
+        """Run (or replay) one ``(query, algorithm)`` unit."""
+        label = self._label(algorithm)
+        checkpoint_factory = None
+        if journal is not None:
+            unit = SweepJournal.unit_key(query.name, label)
+            payload = journal.replay_result(unit)
+            if payload is not None:
+                instance = self.algorithm(algorithm, query)
+                return SweepRecord(query.name, label, instance,
+                                   _sweep_from_payload(payload),
+                                   replayed=True)
+            sidecar = journal.begin(unit)
+            checkpoint_factory = self._checkpoint_factory(sidecar)
+        instance = self.algorithm(algorithm, query)
+        sweep = exhaustive_sweep(
+            instance, sample=self.sample, rng=self.rng,
+            progress=self.progress,
+            engine_factory=self.engine_factory,
+            checkpoint_factory=checkpoint_factory)
+        if journal is not None:
+            journal.commit(unit, _sweep_payload(sweep))
+        label = label if isinstance(algorithm, str) else instance.name
+        return SweepRecord(query.name, label, instance, sweep)
 
     def grid(self, queries, algorithms=("spillbound",)):
         """``{query_name: {algorithm: SweepRecord}}`` for table rows."""
