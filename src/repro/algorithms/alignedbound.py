@@ -87,6 +87,15 @@ class AlignedBound(SpillBound):
         state.extras["max_penalty"] = max(
             state.extras.get("max_penalty", 0.0), total_penalty
         )
+        if state.tracer.enabled:
+            state.tracer.event(
+                "psa-partition",
+                contour=i,
+                parts=[{"leader": p.leader, "native": p.native,
+                        "penalty": p.penalty}
+                       for p in parts if not p.empty],
+                penalty=total_penalty,
+            )
         for part in sorted(parts,
                            key=lambda p: self.space.query.epp_index(p.leader)):
             if part.empty:

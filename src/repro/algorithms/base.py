@@ -8,6 +8,8 @@ total expended cost divided by the oracle cost at the truth.
 
 from repro.common.errors import DiscoveryError
 from repro.engine.simulated import SimulatedEngine
+from repro.obs.metrics import run_metrics
+from repro.obs.tracer import NULL_TRACER
 
 
 class ExecutionRecord:
@@ -42,6 +44,21 @@ class ExecutionRecord:
         self.completed = completed
         self.learned = learned
         self.repeat = repeat
+
+    def as_event(self):
+        """JSON-safe payload for an ``execution`` trace event."""
+        return {
+            "contour": int(self.contour),
+            "plan_id": int(self.plan_id),
+            "mode": self.mode,
+            "epp": str(self.epp) if self.epp is not None else None,
+            "budget": float(self.budget),
+            "spent": float(self.spent),
+            "completed": bool(self.completed),
+            "learned": int(self.learned) if self.learned is not None
+            else None,
+            "repeat": bool(self.repeat),
+        }
 
     def __repr__(self):
         flag = "+" if self.completed else "-"
@@ -98,10 +115,62 @@ class RobustAlgorithm:
     #: Short name used in reports; subclasses override.
     name = "abstract"
 
+    #: Trace sink; the class-level :data:`~repro.obs.tracer.NULL_TRACER`
+    #: default means untraced instances pay one attribute check per
+    #: instrumentation site and never allocate event payloads.
+    tracer = NULL_TRACER
+
     def __init__(self, space):
         if not space.built:
             raise DiscoveryError("exploration space must be built first")
         self.space = space
+
+    def set_tracer(self, tracer):
+        """Install a trace sink (``None`` restores the no-op default)."""
+        if tracer is None:
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        return self
+
+    def _attach_tracer(self, engine):
+        """Propagate this algorithm's tracer down an engine stack.
+
+        Engines delegate to wrapped inner engines (``FaultyEngine.base``,
+        ``DeadlineEngine.engine``); every layer that can emit events gets
+        the same sink. Slotted wrappers without a ``tracer`` slot are
+        skipped silently.
+        """
+        seen = set()
+        while engine is not None and id(engine) not in seen:
+            seen.add(id(engine))
+            try:
+                engine.tracer = self.tracer
+            except AttributeError:
+                pass
+            engine = getattr(engine, "base", None) \
+                or getattr(engine, "engine", None)
+
+    def _trace_run_end(self, result):
+        """Record a finished run's executions/totals and attach its
+        metrics snapshot to ``extras["obs"]``; no-op when untraced.
+
+        Used by the single-execution baselines; the bouquet algorithms
+        emit execution events as they happen and close the bracket
+        themselves.
+        """
+        if not self.tracer.enabled:
+            return result
+        for record in result.executions:
+            self.tracer.event("execution", **record.as_event())
+        result.extras["obs"] = run_metrics(result).snapshot()
+        self.tracer.end_run(
+            algorithm=result.algorithm,
+            total_cost=float(result.total_cost),
+            optimal_cost=float(result.optimal_cost),
+            sub_optimality=float(result.sub_optimality),
+            executions=result.num_executions,
+        )
+        return result
 
     def engine_for(self, qa_index):
         """Create a fresh engine hiding ``qa_index`` as the truth."""

@@ -47,6 +47,10 @@ class NativeOptimizer(RobustAlgorithm):
     def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         plan = self._qe_plan
+        if self.tracer.enabled:
+            if engine is not None:
+                self._attach_tracer(engine)
+            self.tracer.begin_run(self.name, qa_index)
         if engine is not None:
             cost = engine.execute(plan, float("inf")).spent
         else:
@@ -64,7 +68,8 @@ class NativeOptimizer(RobustAlgorithm):
             self.space.optimal_cost(qa_index) if engine is None
             else engine.optimal_cost
         )
-        return RunResult(self.name, qa_index, cost, optimal, [record])
+        return self._trace_run_end(
+            RunResult(self.name, qa_index, cost, optimal, [record]))
 
     def worst_case_mso(self):
         """Eq. (2): max over every (qe, qa) grid pair of SubOpt(qe, qa).

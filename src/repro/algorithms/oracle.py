@@ -16,6 +16,10 @@ class Oracle(RobustAlgorithm):
     def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         plan = self.space.optimal_plan(qa_index)
+        if self.tracer.enabled:
+            if engine is not None:
+                self._attach_tracer(engine)
+            self.tracer.begin_run(self.name, qa_index)
         if engine is not None:
             outcome = engine.execute(plan, float("inf"))
             cost = outcome.spent
@@ -31,7 +35,8 @@ class Oracle(RobustAlgorithm):
             completed=True,
         )
         optimal = cost if engine is None else engine.optimal_cost
-        return RunResult(self.name, qa_index, cost, optimal, [record])
+        return self._trace_run_end(
+            RunResult(self.name, qa_index, cost, optimal, [record]))
 
     def mso_guarantee(self):
         return 1.0

@@ -11,10 +11,13 @@ plan cardinality of the densest contour after reduction -- the
 *behavioral* bound whose platform-dependence motivates SpillBound.
 """
 
+import math
+
 from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
 from repro.common.errors import DiscoveryError
 from repro.ess.anorexic import anorexic_reduction
 from repro.ess.contours import ContourSet
+from repro.obs.metrics import run_metrics
 
 
 class PlanBouquet(RobustAlgorithm):
@@ -56,11 +59,19 @@ class PlanBouquet(RobustAlgorithm):
 
     # ------------------------------------------------------------------
 
+    def _contour_order(self, i, qa_index):
+        """Plan execution order on contour ``i`` (deterministic here;
+        the randomized variant overrides this)."""
+        return self.contour_plans[i]
+
     def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         engine = engine or self.engine_for(qa_index)
+        tracer = self.tracer
+        if tracer.enabled:
+            self._attach_tracer(engine)
+            tracer.begin_run(self.name, qa_index)
         factor = self.budget_factor()
-        spent = 0.0
         records = []
         start = 0
         if checkpoint is not None and checkpoint.active:
@@ -68,11 +79,13 @@ class PlanBouquet(RobustAlgorithm):
         for i in range(start, len(self.contours)):
             if checkpoint is not None:
                 checkpoint.capture(i)
+            if tracer.enabled and i > start:
+                tracer.event("contour-advance", contour=i,
+                             plans=len(self.contour_plans[i]))
             budget = self.contours.cost(i) * factor
-            for plan_id in self.contour_plans[i]:
+            for plan_id in self._contour_order(i, qa_index):
                 outcome = engine.execute(self.space.plans[plan_id], budget)
-                spent += outcome.spent
-                records.append(ExecutionRecord(
+                record = ExecutionRecord(
                     contour=i,
                     plan_id=plan_id,
                     mode="regular",
@@ -80,13 +93,30 @@ class PlanBouquet(RobustAlgorithm):
                     budget=budget,
                     spent=outcome.spent,
                     completed=outcome.completed,
-                ))
+                )
+                records.append(record)
+                if tracer.enabled:
+                    tracer.event("execution", **record.as_event())
                 if outcome.completed:
-                    return RunResult(
-                        self.name, qa_index, spent,
-                        engine.optimal_cost, records,
-                    )
+                    return self._result(qa_index, engine, records)
         raise DiscoveryError(
-            "PlanBouquet exhausted all contours without completing; "
+            "%s exhausted all contours without completing; "
             "the contour frontier does not dominate the hypograph"
+            % type(self).__name__
         )
+
+    def _result(self, qa_index, engine, records):
+        total = math.fsum(r.spent for r in records)
+        result = RunResult(
+            self.name, qa_index, total, engine.optimal_cost, records,
+        )
+        if self.tracer.enabled:
+            result.extras["obs"] = run_metrics(result).snapshot()
+            self.tracer.end_run(
+                algorithm=self.name,
+                total_cost=total,
+                optimal_cost=float(engine.optimal_cost),
+                sub_optimality=float(result.sub_optimality),
+                executions=len(records),
+            )
+        return result

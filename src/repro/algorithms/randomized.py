@@ -14,9 +14,7 @@ remain reproducible.
 
 import numpy as np
 
-from repro.algorithms.base import ExecutionRecord, RunResult
 from repro.algorithms.planbouquet import PlanBouquet
-from repro.common.errors import DiscoveryError
 
 
 class RandomizedPlanBouquet(PlanBouquet):
@@ -36,36 +34,5 @@ class RandomizedPlanBouquet(PlanBouquet):
         rng.shuffle(order)
         return order
 
-    def run(self, qa_index, engine=None, checkpoint=None):
-        qa_index = tuple(qa_index)
-        engine = engine or self.engine_for(qa_index)
-        factor = self.budget_factor()
-        spent = 0.0
-        records = []
-        start = 0
-        if checkpoint is not None and checkpoint.active:
-            start = min(checkpoint.contour, len(self.contours) - 1)
-        for i in range(start, len(self.contours)):
-            if checkpoint is not None:
-                checkpoint.capture(i)
-            budget = self.contours.cost(i) * factor
-            for plan_id in self._shuffled(self.contour_plans[i], qa_index):
-                outcome = engine.execute(self.space.plans[plan_id], budget)
-                spent += outcome.spent
-                records.append(ExecutionRecord(
-                    contour=i,
-                    plan_id=plan_id,
-                    mode="regular",
-                    epp=None,
-                    budget=budget,
-                    spent=outcome.spent,
-                    completed=outcome.completed,
-                ))
-                if outcome.completed:
-                    return RunResult(
-                        self.name, qa_index, spent,
-                        engine.optimal_cost, records,
-                    )
-        raise DiscoveryError(
-            "RandomizedPlanBouquet exhausted all contours"
-        )
+    def _contour_order(self, i, qa_index):
+        return self._shuffled(self.contour_plans[i], qa_index)

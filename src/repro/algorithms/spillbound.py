@@ -15,11 +15,15 @@ the classical PlanBouquet takes over from the current contour in regular
 MSO guarantee: ``D^2 + 3D`` (Theorem 4.5), platform-independent.
 """
 
+import math
+
 import numpy as np
 
 from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
 from repro.common.errors import DiscoveryError
 from repro.ess.contours import ContourSet
+from repro.obs.metrics import run_metrics
+from repro.obs.tracer import NULL_TRACER
 
 
 def spillbound_guarantee(dims, ratio=2.0):
@@ -84,7 +88,10 @@ class SpillBound(RobustAlgorithm):
     def run(self, qa_index, engine=None, checkpoint=None):
         qa_index = tuple(qa_index)
         engine = engine or self.engine_for(qa_index)
-        state = _DiscoveryState(self.space, checkpoint)
+        if self.tracer.enabled:
+            self._attach_tracer(engine)
+            self.tracer.begin_run(self.name, qa_index)
+        state = _DiscoveryState(self.space, checkpoint, tracer=self.tracer)
         m = len(self.contours)
         i = 0
         if checkpoint is not None and checkpoint.active:
@@ -235,9 +242,10 @@ class _DiscoveryState:
     """Mutable bookkeeping shared by SpillBound-style algorithms."""
 
     __slots__ = ("space", "resolved", "remaining", "qrun", "spent",
-                 "records", "executed", "extras", "checkpoint", "contour")
+                 "records", "executed", "extras", "checkpoint", "contour",
+                 "tracer")
 
-    def __init__(self, space, checkpoint=None):
+    def __init__(self, space, checkpoint=None, tracer=NULL_TRACER):
         self.space = space
         self.resolved = {}  # dim -> exact grid index
         self.remaining = set(space.query.epps)
@@ -248,13 +256,23 @@ class _DiscoveryState:
         self.extras = {}
         self.checkpoint = checkpoint
         self.contour = 0
+        self.tracer = tracer
 
     def charge(self, record):
         self.spent += record.spent
         self.records.append(record)
+        if self.tracer.enabled:
+            self.tracer.event("execution", **record.as_event())
 
     def sync(self, contour):
         """Snapshot certified knowledge into the checkpoint (if any)."""
+        if self.tracer.enabled and contour != self.contour:
+            self.tracer.event(
+                "contour-advance",
+                contour=contour,
+                remaining=sorted(self.remaining),
+                resolved=len(self.resolved),
+            )
         self.contour = contour
         if self.checkpoint is not None:
             self.checkpoint.capture(
@@ -269,13 +287,33 @@ class _DiscoveryState:
         self.resolved[dim] = index
         self.qrun[dim] = index
         self.remaining.discard(epp)
+        if self.tracer.enabled:
+            self.tracer.event("spill", dim=dim, epp=epp, index=index)
 
     def learn_bound(self, dim, learned_index):
         # The engine certifies qa strictly beyond `learned_index`.
         self.qrun[dim] = max(self.qrun[dim], learned_index + 1)
+        if self.tracer.enabled:
+            self.tracer.event("half-space-prune", dim=dim,
+                              certified=learned_index,
+                              bound=self.qrun[dim])
 
     def result(self, name, qa_index, engine):
-        return RunResult(
-            name, qa_index, self.spent, engine.optimal_cost, self.records,
+        # fsum: the exactly rounded sum of the record spends, so a trace
+        # decomposition recomputing it from the same floats reconciles
+        # bitwise with this total.
+        total = math.fsum(r.spent for r in self.records)
+        result = RunResult(
+            name, qa_index, total, engine.optimal_cost, self.records,
             extras=dict(self.extras),
         )
+        if self.tracer.enabled:
+            result.extras["obs"] = run_metrics(result).snapshot()
+            self.tracer.end_run(
+                algorithm=name,
+                total_cost=total,
+                optimal_cost=float(engine.optimal_cost),
+                sub_optimality=float(result.sub_optimality),
+                executions=len(self.records),
+            )
+        return result

@@ -15,7 +15,11 @@ Commands
     graceful-degradation guard and also prints the guard's degradation
     accounting.
 ``sweep WORKLOAD``
-    Exhaustive empirical MSO/ASO for PB, SB and AB.
+    Exhaustive empirical MSO/ASO for PB, SB and AB. ``--trace-dir DIR``
+    records one structured discovery trace per (query, algorithm) unit.
+``trace show PATH``
+    Render a recorded trace: per-execution timeline, budget waterfall
+    and MSO spend decomposition.
 ``epps WORKLOAD``
     Rank the workload's join predicates by estimated error-proneness.
 ``experiment NAME``
@@ -33,7 +37,11 @@ import argparse
 import sys
 
 from repro.algorithms.spillbound import spillbound_guarantee
-from repro.common.reporting import format_degradation, format_table
+from repro.common.reporting import (
+    format_degradation,
+    format_table,
+    sweep_degradation,
+)
 from repro.harness import experiments
 from repro.harness.epp_selection import rank_epps
 from repro.harness.workloads import _BUILDERS, workload
@@ -83,11 +91,15 @@ def build_parser():
     p.add_argument("--resolution", type=int, default=None)
 
     p = sub.add_parser("run", help="simulate one discovery run")
-    p.add_argument("workload")
+    p.add_argument("workload", nargs="?", default="2D_Q91",
+                   help="registered workload name (default: 2D_Q91)")
     p.add_argument("--qa", default=None,
                    help="comma-separated grid indices of the hidden truth")
-    p.add_argument("--algorithm", default="spillbound",
+    p.add_argument("--algorithm", "--algo", default="spillbound",
                    choices=("planbouquet", "spillbound", "alignedbound"))
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a structured discovery trace (CRC-framed "
+                        "JSONL) to PATH; inspect with 'repro trace show'")
     p.add_argument("--resolution", type=int, default=None)
     p.add_argument("--engine", default=None, metavar="SPEC",
                    help="execution environment spec, e.g. "
@@ -133,6 +145,15 @@ def build_parser():
                    help="open a per-engine circuit breaker after K "
                         "consecutive crashes; later units fast-fail to "
                         "the native fallback")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="write one discovery trace per (query, algorithm) "
+                        "unit into DIR and print aggregated obs metrics")
+
+    p = sub.add_parser("trace", help="inspect a recorded discovery trace")
+    p.add_argument("action", choices=("show",),
+                   help="'show' renders the timeline, budget waterfall "
+                        "and MSO decomposition of a trace file")
+    p.add_argument("path", help="trace file written by --trace/--trace-dir")
 
     p = sub.add_parser("epps", help="rank predicates by error-proneness")
     p.add_argument("workload")
@@ -204,19 +225,19 @@ def _durable_sweep(out, session, query, space, algorithms, args):
         engine_label=engine_label,
         journal=args.resume if args.resume is not None else args.journal,
         resume=True if args.resume is not None else None,
-        deadline=deadline, breaker=breaker)
+        deadline=deadline, breaker=breaker,
+        trace_dir=getattr(args, "trace_dir", None))
 
     rows = []
     for record in driver.run([query], algorithms):
-        extras = record.sweep.extras
-        reasons = extras.get("degraded_reasons") or {}
+        degraded, reasons = sweep_degradation(record.sweep.extras)
         rows.append((
             record.algorithm,
             record.instance.mso_guarantee(),
             record.mso,
             record.aso,
             "replay" if record.replayed else "run",
-            extras.get("degraded", 0),
+            degraded,
             ",".join("%s:%d" % kv for kv in sorted(reasons.items()))
             or "-",
         ))
@@ -231,6 +252,15 @@ def _durable_sweep(out, session, query, space, algorithms, args):
                   "%d torn record(s) truncated\n"
                   % (stats.replayed, stats.executed,
                      stats.truncated_records))
+    if getattr(args, "trace_dir", None) is not None:
+        out.write("traces written to %s\n" % args.trace_dir)
+        obs = driver.obs_summary()
+        counters = obs.get("counters") or {}
+        if counters:
+            out.write(format_table(
+                ["counter", "value"],
+                sorted(counters.items()),
+                title="Aggregated observability counters") + "\n")
     return 0
 
 
@@ -290,7 +320,17 @@ def main(argv=None):
             algorithm = session.algorithm(
                 algorithm,
                 guard=RetryPolicy(max_retries=args.max_retries))
-        result = algorithm.run(qa, engine=engine)
+        tracer = None
+        if args.trace is not None:
+            from repro.obs import Tracer
+            tracer = Tracer(args.trace)
+            algorithm.set_tracer(tracer)
+        try:
+            result = algorithm.run(qa, engine=engine)
+        finally:
+            if tracer is not None:
+                algorithm.set_tracer(None)
+                tracer.close()
         rows = [
             (r.contour + 1, r.mode, "P%d" % (r.plan_id + 1),
              r.epp or "-", r.budget, r.spent,
@@ -307,6 +347,10 @@ def main(argv=None):
                 [("qa=%s" % (qa,), result.extras)],
                 title="Degradation accounting (%s)" % plan.describe())
                 + "\n")
+        if args.trace is not None:
+            out.write("trace written to %s "
+                      "(inspect with: repro trace show %s)\n"
+                      % (args.trace, args.trace))
         return 0
 
     if args.command == "sweep":
@@ -317,7 +361,8 @@ def main(argv=None):
         durable = (args.journal is not None or args.resume is not None
                    or args.deadline is not None
                    or args.cost_budget is not None
-                   or args.breaker is not None)
+                   or args.breaker is not None
+                   or args.trace_dir is not None)
         if durable:
             return _durable_sweep(out, session, query, space, algorithms,
                                   args)
@@ -334,6 +379,13 @@ def main(argv=None):
             ["algorithm", "MSOg", "MSOe", "ASO"], rows,
             title="Empirical robustness for %s (%d locations)" %
                   (query.name, space.grid.size)) + "\n")
+        return 0
+
+    if args.command == "trace":
+        from repro.obs import read_trace, render_trace_report
+        records = read_trace(args.path)
+        out.write(render_trace_report(
+            records, title="Discovery trace (%s)" % args.path) + "\n")
         return 0
 
     if args.command == "epps":

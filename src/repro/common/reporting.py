@@ -94,6 +94,18 @@ def degradation_summary(items):
     return summary
 
 
+def sweep_degradation(extras):
+    """Normalise a sweep's degradation tally to ``(count, reasons)``.
+
+    ``extras`` is a :class:`repro.metrics.mso.SweepResult` extras dict.
+    Current sweeps always carry both keys; older journal payloads may
+    omit either, so both fall back to an empty tally rather than raising.
+    """
+    degraded = int(extras.get("degraded") or 0)
+    reasons = dict(extras.get("degraded_reasons") or {})
+    return degraded, reasons
+
+
 def format_degradation(items, title="Degradation accounting"):
     """Render guard accounting for one or more runs as a table."""
     return format_table(DEGRADATION_HEADERS, degradation_rows(items),

@@ -259,6 +259,8 @@ class FaultyEngine(SimulatedEngine):
         transient = (ordinal in self.plan.transient_on_calls or
                      rng.uniform() < self.plan.transient_rate)
         if transient:
+            if self.tracer.enabled:
+                self.tracer.event("fault", kind="transient", call=ordinal)
             raise TransientEngineError(
                 "injected transient failure at call %d" % ordinal)
 
@@ -267,13 +269,20 @@ class FaultyEngine(SimulatedEngine):
                  rng.uniform() < self.plan.crash_rate)
         if crash:
             fraction = rng.uniform(CRASH_SPEND_LO, CRASH_SPEND_HI)
+            if self.tracer.enabled:
+                self.tracer.event("fault", kind="crash", call=ordinal,
+                                  lost=float(fraction * spent))
             raise EngineCrashError(
                 "injected crash at call %d" % ordinal,
                 spent=fraction * spent)
 
-    def _drift(self, rng, outcome):
+    def _drift(self, rng, ordinal, outcome):
         if rng.uniform() < self.plan.drift_rate:
-            outcome.spent *= rng.uniform(1.0, self.plan.drift_factor)
+            factor = rng.uniform(1.0, self.plan.drift_factor)
+            outcome.spent *= factor
+            if self.tracer.enabled:
+                self.tracer.event("fault", kind="drift", call=ordinal,
+                                  factor=float(factor))
         return outcome
 
     # ------------------------------------------------------------------
@@ -285,7 +294,7 @@ class FaultyEngine(SimulatedEngine):
             else super(FaultyEngine, self)
         outcome = inner.execute(plan_info, budget)
         self._crash(rng, ordinal, outcome.spent)
-        return self._drift(rng, outcome)
+        return self._drift(rng, ordinal, outcome)
 
     def execute_spill(self, plan_info, epp, node, budget):
         rng, ordinal = self._draws()
@@ -299,4 +308,7 @@ class FaultyEngine(SimulatedEngine):
             # independent of what the execution actually certified.
             res = len(self.space.grid.values[outcome.dim])
             outcome.learned_index = int(rng.integers(-1, res))
-        return self._drift(rng, outcome)
+            if self.tracer.enabled:
+                self.tracer.event("fault", kind="corrupt", call=ordinal,
+                                  learned_index=outcome.learned_index)
+        return self._drift(rng, ordinal, outcome)

@@ -24,6 +24,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.common.errors import DiscoveryError
+from repro.obs.tracer import NULL_TRACER
 
 #: Relative slack when comparing costs against budgets, absorbing float
 #: round-off from vectorised evaluation.
@@ -66,6 +67,11 @@ class SpillOutcome:
 
 class SimulatedEngine:
     """Budgeted/spilled plan execution against a hidden true location."""
+
+    #: Trace sink; installed by the running algorithm's
+    #: ``_attach_tracer`` so engine layers (fault injection, deadlines)
+    #: can emit events into the same stream.
+    tracer = NULL_TRACER
 
     def __init__(self, space, qa_index, spill_cache_cap=SPILL_CACHE_CAP):
         self.space = space

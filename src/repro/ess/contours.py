@@ -154,6 +154,11 @@ def _contour_costs(c_min, c_max, ratio):
         return [c_max]
     steps = math.ceil(math.log(c_max / c_min, ratio) - 1e-12)
     costs = [c_min * ratio**i for i in range(steps)]
+    # When c_max lands on (or within float noise of) the last geometric
+    # rung, appending it verbatim would duplicate the rung -- a zero-width
+    # contour that burns one full doubling budget for no new coverage.
+    while costs and costs[-1] * (1 + 1e-9) >= c_max:
+        costs.pop()
     costs.append(c_max)
     return costs
 

@@ -8,23 +8,35 @@ ASO (Eq. 8, uniform prior over locations).
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+
 
 class SweepResult:
     """Per-location sub-optimalities for one algorithm over a space.
 
     ``extras`` aggregates per-run accounting across the sweep (guarded
-    runs report ``degraded`` and ``degraded_reasons`` tallies there), so
-    reports can distinguish *why* locations degraded without keeping
-    every :class:`RunResult` alive.
+    runs report ``degraded`` and ``degraded_reasons`` tallies there, and
+    traced runs an ``obs`` metrics snapshot), so reports can distinguish
+    *why* locations degraded without keeping every :class:`RunResult`
+    alive.
+
+    Sampled sweeps produce a flat array over the sample; ``sample_flats``
+    then records which flat grid index each position corresponds to, and
+    ``grid_shape`` the geometry of the full grid, so
+    :meth:`worst_location` can map back to a real grid coordinate.
     """
 
-    __slots__ = ("algorithm", "sub_optimalities", "shape", "extras")
+    __slots__ = ("algorithm", "sub_optimalities", "shape", "extras",
+                 "sample_flats", "grid_shape")
 
-    def __init__(self, algorithm, sub_optimalities, shape, extras=None):
+    def __init__(self, algorithm, sub_optimalities, shape, extras=None,
+                 sample_flats=None, grid_shape=None):
         self.algorithm = algorithm
         self.sub_optimalities = sub_optimalities
         self.shape = shape
         self.extras = extras or {}
+        self.sample_flats = sample_flats
+        self.grid_shape = grid_shape
 
     @property
     def mso(self):
@@ -37,12 +49,27 @@ class SweepResult:
         return float(self.sub_optimalities.mean())
 
     def worst_location(self):
-        """Grid index tuple attaining the empirical MSO."""
+        """Grid index tuple attaining the empirical MSO.
+
+        For a sampled sweep the worst position in the sample is mapped
+        through ``sample_flats`` back onto the full grid, so the answer
+        is always a coordinate of the *space*, never an offset into the
+        sample.
+        """
         flat = int(np.argmax(self.sub_optimalities))
+        if self.sample_flats is not None:
+            shape = self.grid_shape if self.grid_shape is not None \
+                else self.shape
+            return tuple(int(i) for i in np.unravel_index(
+                int(self.sample_flats[flat]), shape))
         return tuple(int(i) for i in np.unravel_index(flat, self.shape))
 
     def fraction_below(self, threshold):
-        """Fraction of locations with sub-optimality below ``threshold``."""
+        """Fraction of locations with sub-optimality below ``threshold``.
+
+        For a sampled sweep this is the fraction *of the sample* -- an
+        unbiased estimate of the grid-wide fraction, not an exact count.
+        """
         return float(np.mean(self.sub_optimalities < threshold))
 
     def __repr__(self):
@@ -82,9 +109,10 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
     grid = space.grid
     degraded = 0
     reasons = {}
+    obs = None
 
     def run_at(index):
-        nonlocal degraded
+        nonlocal degraded, obs
         engine = engine_factory(index) if engine_factory else None
         checkpoint = checkpoint_factory(index) if checkpoint_factory \
             else None
@@ -94,11 +122,22 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
             degraded += 1
             reason = result.extras.get("degraded_reason") or "unknown"
             reasons[reason] = reasons.get(reason, 0) + 1
+        snapshot = result.extras.get("obs")
+        if snapshot is not None:
+            if obs is None:
+                obs = MetricsRegistry()
+            obs.merge(snapshot)
         return result.sub_optimality
 
     def extras():
-        return {"degraded": degraded, "degraded_reasons": dict(reasons)} \
-            if degraded else {}
+        # Both keys are always present (an un-degraded sweep reports
+        # zero and an empty tally) so consumers never have to guess
+        # whether a missing key means "clean" or "not tracked".
+        tally = {"degraded": degraded,
+                 "degraded_reasons": dict(reasons)}
+        if obs is not None:
+            tally["obs"] = obs.snapshot()
+        return tally
 
     total = grid.size
     if sample is not None and sample < total:
@@ -110,7 +149,9 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
             if progress:
                 progress(pos + 1, sample)
         return SweepResult(algorithm.name, subopts, (sample,),
-                           extras=extras())
+                           extras=extras(),
+                           sample_flats=[int(f) for f in flats],
+                           grid_shape=tuple(grid.shape))
     subopts = np.empty(total)
     for flat in range(total):
         subopts[flat] = run_at(grid.unflat(flat))

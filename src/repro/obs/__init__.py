@@ -1,0 +1,42 @@
+"""Structured observability for discovery runs.
+
+* :mod:`repro.obs.tracer` -- nested-span, typed-event tracing with
+  CRC-framed JSONL persistence and a zero-overhead
+  :class:`~repro.obs.tracer.NullTracer` default;
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms whose
+  snapshots travel in ``RunResult.extras["obs"]`` and merge additively
+  across a sweep;
+* :mod:`repro.obs.report` -- timeline / budget-waterfall /
+  MSO-decomposition rendering for ``repro trace show``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    run_metrics,
+)
+from repro.obs.report import (
+    answering_run,
+    decompose,
+    executions,
+    render_trace_report,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "run_metrics",
+    "answering_run",
+    "decompose",
+    "executions",
+    "render_trace_report",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "read_trace",
+]

@@ -1,0 +1,209 @@
+"""Lightweight metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments
+whose state snapshots to plain JSON and merges additively, which is
+what lets one discovery run's metrics land in
+``RunResult.extras["obs"]`` and a sweep driver fold hundreds of those
+snapshots into a single aggregate without keeping the runs alive.
+
+Naming convention (dotted, lowercase):
+
+* ``executions`` / ``executions.completed`` / ``executions.spill`` /
+  ``executions.contour.<k>`` -- execution counts (``<k>`` 1-based)
+* ``spend.total`` / ``spend.contour.<k>`` -- cost units spent
+* ``events.<type>`` -- events emitted per type (kept by the tracer)
+* ``phase.<name>`` -- wall-clock histograms per span name
+* ``guard.retries`` / ``guard.degraded`` / ``breaker.trips`` --
+  recovery-layer counters
+* ``cache.hit.memory`` / ``cache.hit.disk`` / ``cache.miss`` --
+  artifact cache effectiveness
+
+No instrument allocates per observation; histograms keep running
+aggregates (count/total/min/max), not samples.
+"""
+
+import math
+
+
+class Counter:
+    """Monotonically increasing value (floats allowed for spend)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up, got %r" % (amount,))
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%g)" % self.value
+
+
+class Gauge:
+    """Last-written value (e.g. current breaker state ordinal)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Gauge(%g)" % self.value
+
+
+class Histogram:
+    """Running aggregate of observations: count, total, min, max.
+
+    Deliberately sample-free so snapshots stay O(1) and merging two
+    histograms is exact (sum counts/totals, combine extrema).
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self, count=0, total=0.0, vmin=math.inf, vmax=-math.inf):
+        self.count = count
+        self.total = total
+        self.vmin = vmin
+        self.vmax = vmax
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None}
+        return {"count": self.count, "total": self.total,
+                "min": self.vmin, "max": self.vmax}
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not payload.get("count"):
+            return cls()
+        return cls(count=int(payload["count"]),
+                   total=float(payload["total"]),
+                   vmin=float(payload["min"]),
+                   vmax=float(payload["max"]))
+
+    def combine(self, other):
+        self.count += other.count
+        self.total += other.total
+        if other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if other.vmax > self.vmax:
+            self.vmax = other.vmax
+
+    def __repr__(self):
+        return "Histogram(n=%d, mean=%g)" % (self.count, self.mean)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Snapshots are plain dicts with sorted keys (deterministic JSON);
+    :meth:`merge` folds a snapshot back in, with counters and
+    histograms combining additively and gauges last-write-wins --
+    the semantics a sweep aggregator needs.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def counter(self, name):
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name):
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name):
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self):
+        """JSON-safe state: ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        return {
+            "counters": {k: self.counters[k].value
+                         for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value
+                       for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].to_dict()
+                           for k in sorted(self.histograms)},
+        }
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` payload into this registry."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            self.histogram(name).combine(Histogram.from_dict(payload))
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        return cls().merge(snapshot)
+
+    def __repr__(self):
+        return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
+            len(self.counters), len(self.gauges), len(self.histograms))
+
+
+def run_metrics(result):
+    """Distil one :class:`~repro.algorithms.base.RunResult` into metrics.
+
+    Counts executions (total / completed / by mode / by contour), spend
+    (total and per contour, with contours reported 1-based to match the
+    paper's ``CC_1..CC_m`` numbering), budget utilisation and the run's
+    sub-optimality. Native/oracle records carry ``contour == -1`` and
+    are attributed to ``contour.0`` ("outside the ladder").
+    """
+    registry = MetricsRegistry()
+    for record in result.executions:
+        contour = record.contour + 1 if record.contour >= 0 else 0
+        registry.counter("executions").inc()
+        registry.counter("executions.contour.%d" % contour).inc()
+        if record.completed:
+            registry.counter("executions.completed").inc()
+        if record.mode == "spill":
+            registry.counter("executions.spill").inc()
+        else:
+            registry.counter("executions.regular").inc()
+        if record.repeat:
+            registry.counter("executions.repeat").inc()
+        registry.counter("spend.contour.%d" % contour).inc(
+            float(record.spent))
+        if record.budget > 0:
+            registry.histogram("budget_utilisation").observe(
+                float(record.spent) / float(record.budget))
+    registry.counter("spend.total").inc(float(result.total_cost))
+    registry.histogram("sub_optimality").observe(
+        float(result.sub_optimality))
+    return registry

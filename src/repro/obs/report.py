@@ -1,0 +1,201 @@
+"""Render trace event streams as human-readable reports.
+
+Three views over one trace (``repro trace show``):
+
+* **timeline** -- every ``execution`` event of the answering run, in
+  order, with contour / plan / mode / budget / spend / outcome;
+* **budget waterfall** -- spend grouped by contour, cumulative, with
+  each contour's share of the total;
+* **MSO decomposition** -- per-contour spend normalised by the oracle
+  cost, summing to the run's sub-optimality (the empirical counterpart
+  of the paper's ``D^2 + 3D`` worst-case accounting).
+
+Spend totals are computed with :func:`math.fsum` over the recorded
+spends -- the same summation the algorithms use for
+``RunResult.total_cost`` -- so a decomposition read back from a JSONL
+trace reconciles *bitwise* with the run it describes (canonical JSON
+round-trips floats exactly).
+"""
+
+import math
+
+from repro.common.reporting import format_table
+
+
+def executions(records, run=None):
+    """The ``execution`` events of ``run`` (default: the answering run).
+
+    A guard may retry a discovery run several times; each attempt gets
+    its own ``run`` ordinal and only the attempt that produced the
+    returned result ends with a ``run-end`` event. With ``run=None``
+    the events of the *last* completed run are returned, which is the
+    one whose spends reconcile with ``RunResult.total_cost``.
+    """
+    if run is None:
+        run = answering_run(records)
+    return [r for r in records
+            if r.get("type") == "execution" and r.get("run") == run]
+
+
+def answering_run(records):
+    """Ordinal of the last completed run (0 when none completed)."""
+    for record in reversed(records):
+        if record.get("type") == "run-end":
+            return record.get("run", 0)
+    return 0
+
+
+def run_totals(records, run=None):
+    """The ``run-end`` payload of ``run`` (default answering), or None."""
+    if run is None:
+        run = answering_run(records)
+    for record in reversed(records):
+        if record.get("type") == "run-end" and record.get("run") == run:
+            return record
+    return None
+
+
+def decompose(records, run=None):
+    """Per-contour spend attribution for one run of a trace.
+
+    Returns a dict with ``run``, ``contours`` (ordered list of
+    ``{contour, executions, spend}`` with ``contour`` 1-based, 0 for
+    off-ladder records), ``total`` (fsum of every execution spend --
+    bitwise equal to the run's ``total_cost``), plus ``optimal_cost``
+    and ``sub_optimality`` copied from the ``run-end`` event when
+    present.
+    """
+    if run is None:
+        run = answering_run(records)
+    execs = executions(records, run=run)
+    by_contour = {}
+    order = []
+    for event in execs:
+        contour = event.get("contour", -1)
+        contour = contour + 1 if contour >= 0 else 0
+        if contour not in by_contour:
+            by_contour[contour] = []
+            order.append(contour)
+        by_contour[contour].append(float(event.get("spent", 0.0)))
+    contours = [{"contour": c,
+                 "executions": len(by_contour[c]),
+                 "spend": math.fsum(by_contour[c])}
+                for c in order]
+    result = {
+        "run": run,
+        "contours": contours,
+        "total": math.fsum(s for c in order for s in by_contour[c]),
+    }
+    totals = run_totals(records, run=run)
+    if totals is not None:
+        for key in ("total_cost", "optimal_cost", "sub_optimality",
+                    "algorithm"):
+            if key in totals:
+                result[key] = totals[key]
+    return result
+
+
+def _contour_label(contour):
+    return "CC_%d" % contour if contour else "-"
+
+
+def _plan_label(event):
+    plan = event.get("plan_id")
+    # 1-based, matching the CLI run table and the paper's P1..Pn naming.
+    return "P%d" % (plan + 1) if plan is not None and plan >= 0 else "-"
+
+
+def timeline_rows(records, run=None):
+    """Rows for the per-execution timeline table."""
+    rows = []
+    for i, event in enumerate(executions(records, run=run), 1):
+        contour = event.get("contour", -1)
+        epp = event.get("epp")
+        rows.append((
+            i,
+            _contour_label(contour + 1 if contour >= 0 else 0),
+            _plan_label(event),
+            event.get("mode", "-"),
+            str(epp) if epp is not None else "-",
+            float(event.get("budget", 0.0)),
+            float(event.get("spent", 0.0)),
+            "yes" if event.get("completed") else "no",
+            "repeat" if event.get("repeat") else "",
+        ))
+    return rows
+
+
+TIMELINE_HEADERS = ["#", "contour", "plan", "mode", "epp", "budget",
+                    "spent", "done", "note"]
+
+
+def waterfall_rows(decomposition):
+    """Rows for the budget-waterfall table (spend per contour)."""
+    total = decomposition["total"]
+    rows = []
+    running = 0.0
+    for entry in decomposition["contours"]:
+        running += entry["spend"]
+        share = entry["spend"] / total if total else 0.0
+        rows.append((
+            _contour_label(entry["contour"]),
+            entry["executions"],
+            entry["spend"],
+            running,
+            "%.1f%%" % (100.0 * share),
+        ))
+    return rows
+
+
+WATERFALL_HEADERS = ["contour", "execs", "spend", "cumulative", "share"]
+
+
+def event_summary_rows(records):
+    """Rows counting events per type, sorted by count then name."""
+    counts = {}
+    for record in records:
+        etype = record.get("type", "?")
+        counts[etype] = counts.get(etype, 0) + 1
+    return [(name, counts[name]) for name in
+            sorted(counts, key=lambda n: (-counts[n], n))]
+
+
+def render_trace_report(records, title="Discovery trace"):
+    """Full ``repro trace show`` report for one trace's event records."""
+    chunks = ["# %s" % title]
+    decomposition = decompose(records)
+    runs = max((r.get("run", 0) for r in records), default=0)
+    header = ["%d events" % len(records), "%d run(s)" % runs]
+    algo = decomposition.get("algorithm")
+    if algo:
+        header.append("algorithm=%s" % algo)
+    chunks.append(", ".join(header))
+
+    rows = timeline_rows(records)
+    if rows:
+        chunks.append(format_table(
+            TIMELINE_HEADERS, rows,
+            title="Execution timeline (run %d)" % decomposition["run"],
+            floatfmt="{:.4f}"))
+        chunks.append(format_table(
+            WATERFALL_HEADERS, waterfall_rows(decomposition),
+            title="Budget waterfall", floatfmt="{:.4f}"))
+        optimal = decomposition.get("optimal_cost")
+        if optimal:
+            mso_rows = [(_contour_label(e["contour"]),
+                         e["spend"],
+                         e["spend"] / optimal)
+                        for e in decomposition["contours"]]
+            mso_rows.append(("total", decomposition["total"],
+                             decomposition["total"] / optimal))
+            chunks.append(format_table(
+                ["contour", "spend", "spend / optimal"], mso_rows,
+                title="MSO decomposition (oracle cost %.4f)" % optimal,
+                floatfmt="{:.4f}"))
+    else:
+        chunks.append("(no completed discovery run in this trace)")
+
+    chunks.append(format_table(
+        ["event", "count"], event_summary_rows(records),
+        title="Event summary"))
+    return "\n\n".join(chunks)

@@ -44,6 +44,7 @@ from repro.common.atomicio import (
     encode_record,
 )
 from repro.common.errors import DeadlineExceededError, JournalError
+from repro.obs.tracer import NULL_TRACER
 
 #: Journal format version; bumping it makes old journals un-resumable
 #: (refused with a clear error) rather than silently misread.
@@ -301,6 +302,10 @@ class SweepJournal:
     being silently skipped.
     """
 
+    #: Trace sink (installed by the sweep driver when tracing a sweep);
+    #: commits emit ``journal-commit`` events.
+    tracer = NULL_TRACER
+
     def __init__(self, path, segment_records=SEGMENT_RECORDS, fsync=True,
                  lock_timeout=10.0):
         self.path = path
@@ -528,6 +533,9 @@ class SweepJournal:
         self.committed[unit] = {"type": "commit", "unit": unit,
                                 "result": result}
         self.stats.executed += 1
+        if self.tracer.enabled:
+            self.tracer.event("journal-commit", unit=unit,
+                              segment=self._segment_index)
         try:
             os.unlink(self.checkpoint_path(unit))
         except OSError:

@@ -38,6 +38,7 @@ from repro.common.errors import (
     EngineCrashError,
     TransientEngineError,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.robustness.checkpoint import DiscoveryCheckpoint
 from repro.robustness.durable import DeadlineEngine
 
@@ -109,10 +110,21 @@ class DiscoveryGuard(RobustAlgorithm):
         """The wrapped algorithm's bound (valid when nothing degrades)."""
         return self.algorithm.mso_guarantee()
 
+    def set_tracer(self, tracer):
+        """Install a trace sink on the guard *and* everything it drives:
+        the wrapped algorithm and (if already materialised) the
+        fallback, so every attempt's events land in one stream."""
+        super().set_tracer(tracer)
+        self.algorithm.set_tracer(tracer)
+        if self._fallback is not None:
+            self._fallback.set_tracer(tracer)
+        return self
+
     @property
     def fallback(self):
         if self._fallback is None:
             self._fallback = NativeOptimizer(self.space)
+            self._fallback.set_tracer(self.tracer)
         return self._fallback
 
     # ------------------------------------------------------------------
@@ -137,6 +149,9 @@ class DiscoveryGuard(RobustAlgorithm):
         breaker = self.breaker
         while True:
             if breaker is not None and not breaker.allow():
+                if self.tracer.enabled:
+                    self.tracer.event("breaker", state="open",
+                                      failures=breaker.failures)
                 return self._degrade(
                     qa_index, engine, retries, wasted,
                     ["circuit breaker open after %d consecutive engine "
@@ -165,6 +180,7 @@ class DiscoveryGuard(RobustAlgorithm):
                     reason="deadline-%s" % exc.reason)
             except TransientEngineError:
                 retries += 1
+                self._trace_retry("transient", retries, wasted)
                 if retries > self.policy.max_retries:
                     return self._degrade(
                         qa_index, engine, retries, wasted,
@@ -175,9 +191,15 @@ class DiscoveryGuard(RobustAlgorithm):
                 continue
             except EngineCrashError as exc:
                 if breaker is not None:
+                    was_open = breaker.is_open
                     breaker.record_failure()
+                    if self.tracer.enabled and breaker.is_open \
+                            and not was_open:
+                        self.tracer.event("breaker", state="tripped",
+                                          failures=breaker.failures)
                 wasted += float(exc.spent or 0.0)
                 retries += 1
+                self._trace_retry("crash", retries, wasted)
                 if retries > self.policy.max_retries:
                     return self._degrade(
                         qa_index, engine, retries, wasted,
@@ -190,6 +212,7 @@ class DiscoveryGuard(RobustAlgorithm):
                 # Inconsistent discovery state -- possibly poisoned by a
                 # corrupted monitor readout recorded in the checkpoint.
                 retries += 1
+                self._trace_retry("discovery-error", retries, wasted)
                 checkpoint.clear()
                 escalations = 0
                 if retries > self.policy.max_retries:
@@ -209,6 +232,8 @@ class DiscoveryGuard(RobustAlgorithm):
                 # the attempt (its spend is wasted) and start clean.
                 wasted += result.total_cost
                 retries += 1
+                self._trace_retry("validation", retries, wasted,
+                                  violations=violations)
                 checkpoint.clear()
                 escalations = 0
                 if retries > self.policy.max_retries:
@@ -219,6 +244,25 @@ class DiscoveryGuard(RobustAlgorithm):
 
     # ------------------------------------------------------------------
     # recovery helpers
+
+    def _trace_retry(self, cause, retries, wasted, violations=None):
+        if not self.tracer.enabled:
+            return
+        fields = {"cause": cause, "retries": retries,
+                  "wasted_cost": float(wasted)}
+        if violations:
+            fields["violations"] = list(violations)
+        self.tracer.event("retry", **fields)
+
+    def _guard_obs(self, result, retries, wasted):
+        """Fold guard accounting into the run's metrics snapshot."""
+        registry = MetricsRegistry.from_snapshot(
+            result.extras.get("obs") or {})
+        registry.counter("guard.retries").inc(retries)
+        registry.counter("guard.wasted_cost").inc(float(wasted))
+        if result.extras.get("degraded"):
+            registry.counter("guard.degraded").inc()
+        result.extras["obs"] = registry.snapshot()
 
     def _escalate(self, checkpoint, last_failed_contour):
         """Advance the resume contour when a retry made no progress.
@@ -238,6 +282,8 @@ class DiscoveryGuard(RobustAlgorithm):
             if current < top:
                 checkpoint.contour = current + 1
                 stepped = 1
+                if self.tracer.enabled:
+                    self.tracer.event("escalate", contour=current + 1)
         return checkpoint.contour, stepped
 
     def _degrade(self, qa_index, engine, retries, wasted, violations,
@@ -250,6 +296,10 @@ class DiscoveryGuard(RobustAlgorithm):
         tables, which previously could not distinguish a hung substrate
         from an exhausted retry ladder.
         """
+        if self.tracer.enabled:
+            self.tracer.event("degrade", reason=reason, retries=retries,
+                              wasted_cost=float(wasted),
+                              violations=list(violations))
         sound = engine
         if sound is not None and hasattr(sound, "sound"):
             sound = sound.sound()
@@ -265,6 +315,8 @@ class DiscoveryGuard(RobustAlgorithm):
             "meter_drift": 0.0,
             "violations": list(violations),
         })
+        if self.tracer.enabled:
+            self._guard_obs(result, retries, wasted)
         return result
 
     def _finalize(self, result, retries, wasted, drift):
@@ -278,6 +330,8 @@ class DiscoveryGuard(RobustAlgorithm):
             "meter_drift": drift,
             "violations": [],
         })
+        if self.tracer.enabled:
+            self._guard_obs(result, retries, wasted)
         return result
 
     # ------------------------------------------------------------------

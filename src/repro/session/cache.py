@@ -37,6 +37,7 @@ from repro.common.errors import DiscoveryError
 from repro.ess.contours import ContourSet
 from repro.ess.persistence import FORMAT_VERSION, load_space, save_space
 from repro.ess.space import default_resolution
+from repro.obs.tracer import NULL_TRACER
 
 #: Default number of spaces kept in the in-memory LRU tier.
 MEMORY_SLOTS = 64
@@ -173,6 +174,10 @@ class _Entry:
 class ArtifactCache:
     """Two-tier (memory LRU + content-addressed disk) artifact store."""
 
+    #: Trace sink; lookups emit ``cache-hit`` / ``cache-miss`` events
+    #: and builds run inside a ``space-build`` span when enabled.
+    tracer = NULL_TRACER
+
     def __init__(self, cache_dir=None, memory_slots=MEMORY_SLOTS):
         if memory_slots < 1:
             raise ValueError("memory_slots must be >= 1")
@@ -217,12 +222,25 @@ class ArtifactCache:
         if entry is not None:
             self.stats.memory_hits += 1
             self._entries.move_to_end(key)
+            if self.tracer.enabled:
+                self.tracer.event("cache-hit", tier="memory",
+                                  key=repr(key))
+                self.tracer.metrics.counter("cache.hit.memory").inc()
             return entry
         space = self._load_disk(key, query)
         if space is None:
             self.stats.builds += 1
-            space = builder()
+            if self.tracer.enabled:
+                self.tracer.event("cache-miss", key=repr(key))
+                self.tracer.metrics.counter("cache.miss").inc()
+                with self.tracer.span("space-build", key=repr(key)):
+                    space = builder()
+            else:
+                space = builder()
             self._store_disk(key, space)
+        elif self.tracer.enabled:
+            self.tracer.event("cache-hit", tier="disk", key=repr(key))
+            self.tracer.metrics.counter("cache.hit.disk").inc()
         entry = _Entry(space)
         self._entries[key] = entry
         while len(self._entries) > self.memory_slots:

@@ -27,6 +27,7 @@ from repro.common.errors import DiscoveryError
 from repro.ess.contours import ContourSet
 from repro.ess.parallel import parallel_exact_build
 from repro.ess.space import ExplorationSpace
+from repro.obs.tracer import NULL_TRACER
 from repro.robustness import DiscoveryGuard, RetryPolicy
 from repro.session.cache import ArtifactCache, SpaceKey
 from repro.session.registry import BreakerBoard, EngineSpec
@@ -86,10 +87,13 @@ class RobustSession:
     def __init__(self, cache_dir=None, memory_slots=None, resolution=None,
                  mode="fast", s_min=1e-6, rng=0, ratio=2.0, workers=None,
                  engine_spec="simulated", database=None, guard=None,
-                 breaker=None):
+                 breaker=None, tracer=None):
         kwargs = {} if memory_slots is None else \
             {"memory_slots": memory_slots}
         self.cache = ArtifactCache(cache_dir=cache_dir, **kwargs)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.cache.tracer = self.tracer
         self.resolution = resolution
         self.mode = mode
         self.s_min = s_min
@@ -217,7 +221,7 @@ class RobustSession:
 
     def algorithm(self, algorithm="spillbound", query=None, space=None,
                   contours=None, guard=None, ratio=None, resolution=None,
-                  deadline=None, breaker=None, **kwargs):
+                  deadline=None, breaker=None, tracer=None, **kwargs):
         """An algorithm instance wired to cached artifacts.
 
         ``algorithm`` is a registry name, a class with the
@@ -265,6 +269,9 @@ class RobustSession:
         if policy:
             instance = DiscoveryGuard(instance, policy=policy,
                                       deadline=deadline, breaker=breaker)
+        active = self.tracer if tracer is None else tracer
+        if active is not None and active.enabled:
+            instance.set_tracer(active)
         return instance
 
     # ------------------------------------------------------------------
@@ -272,17 +279,18 @@ class RobustSession:
 
     def run(self, query, qa_index=None, algorithm="spillbound",
             engine=None, spec=None, checkpoint=None, guard=None,
-            **kwargs):
+            tracer=None, **kwargs):
         """One discovery run at a hidden truth; returns a ``RunResult``.
 
         ``qa_index=None`` places the truth at 70% along every dimension
         (the CLI's historical default). ``engine`` short-circuits
         engine construction; otherwise ``spec`` (or the session
-        default) builds one.
+        default) builds one. ``tracer`` overrides the session's trace
+        sink for this run.
         """
         query = self.query(query)
         algo = self.algorithm(algorithm, query=query, guard=guard,
-                              **kwargs)
+                              tracer=tracer, **kwargs)
         space = algo.space
         if qa_index is None:
             qa_index = tuple(int(r * 0.7) for r in space.grid.shape)
@@ -296,11 +304,12 @@ class RobustSession:
         return algo.run(qa_index, engine=engine, checkpoint=checkpoint)
 
     def sweep(self, query, algorithm="spillbound", sample=None, rng=0,
-              spec=None, progress=None, **kwargs):
+              spec=None, progress=None, tracer=None, **kwargs):
         """Exhaustive (or sampled) empirical MSO/ASO for one algorithm."""
         from repro.metrics.mso import exhaustive_sweep
 
-        algo = self.algorithm(algorithm, query=query, **kwargs)
+        algo = self.algorithm(algorithm, query=query, tracer=tracer,
+                              **kwargs)
         engine_factory = None
         if spec is not None or \
                 self.engine_spec != EngineSpec.parse("simulated"):

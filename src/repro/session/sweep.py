@@ -34,6 +34,8 @@ import os
 import numpy as np
 
 from repro.metrics.mso import SweepResult, exhaustive_sweep
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.robustness import DiscoveryCheckpoint
 from repro.robustness.durable import SweepJournal
 
@@ -86,14 +88,26 @@ def _sweep_payload(sweep):
             float(x) for x in np.asarray(sweep.sub_optimalities).ravel()
         ],
         "extras": sweep.extras,
+        "sample_flats": (None if sweep.sample_flats is None
+                         else [int(f) for f in sweep.sample_flats]),
+        "grid_shape": (None if sweep.grid_shape is None
+                       else [int(s) for s in sweep.grid_shape]),
     }
 
 
 def _sweep_from_payload(payload):
     shape = tuple(int(s) for s in payload["shape"])
     values = np.array(payload["sub_optimalities"], dtype=float)
-    return SweepResult(payload["algorithm"], values.reshape(shape),
-                       shape, extras=dict(payload.get("extras") or {}))
+    # ``.get`` keeps journals written before sampled-sweep geometry was
+    # recorded replayable (their worst_location stays sample-relative).
+    flats = payload.get("sample_flats")
+    grid_shape = payload.get("grid_shape")
+    return SweepResult(
+        payload["algorithm"], values.reshape(shape), shape,
+        extras=dict(payload.get("extras") or {}),
+        sample_flats=None if flats is None else [int(f) for f in flats],
+        grid_shape=None if grid_shape is None
+        else tuple(int(s) for s in grid_shape))
 
 
 class SweepDriver:
@@ -113,7 +127,7 @@ class SweepDriver:
     def __init__(self, session, sample=None, rng=0, resolution=None,
                  lam=None, ratio=None, engine_factory=None, progress=None,
                  journal=None, resume=None, deadline=None, breaker=None,
-                 reuse_inflight=False, engine_label=None):
+                 reuse_inflight=False, engine_label=None, trace_dir=None):
         self.session = session
         self.sample = sample
         self.rng = rng
@@ -131,8 +145,25 @@ class SweepDriver:
         self.deadline = deadline
         self.breaker = breaker
         self.reuse_inflight = reuse_inflight
+        #: Directory for per-unit discovery traces; ``None`` disables
+        #: tracing entirely (the hot path sees only a NullTracer).
+        self.trace_dir = trace_dir
         #: Stats of the last journaled ``run`` (replayed/executed).
         self.journal_stats = None
+        #: Driver-level metrics folded from every unit's ``obs``
+        #: snapshot (``None`` until a unit reports one).
+        self.obs = None
+
+    def obs_summary(self):
+        """Aggregated observability snapshot across all units so far."""
+        return self.obs.snapshot() if self.obs is not None else {}
+
+    def _merge_obs(self, sweep):
+        snapshot = sweep.extras.get("obs")
+        if snapshot:
+            if self.obs is None:
+                self.obs = MetricsRegistry()
+            self.obs.merge(snapshot)
 
     # ------------------------------------------------------------------
 
@@ -239,6 +270,10 @@ class SweepDriver:
             if journal is not None:
                 journal.close()
 
+    def _trace_path(self, query_name, label):
+        return os.path.join(self.trace_dir,
+                            "%s-%s.jsonl" % (query_name, label))
+
     def _unit(self, journal, query, algorithm):
         """Run (or replay) one ``(query, algorithm)`` unit."""
         label = self._label(algorithm)
@@ -248,19 +283,35 @@ class SweepDriver:
             payload = journal.replay_result(unit)
             if payload is not None:
                 instance = self.algorithm(algorithm, query)
+                sweep = _sweep_from_payload(payload)
+                self._merge_obs(sweep)
                 return SweepRecord(query.name, label, instance,
-                                   _sweep_from_payload(payload),
-                                   replayed=True)
+                                   sweep, replayed=True)
             sidecar = journal.begin(unit)
             checkpoint_factory = self._checkpoint_factory(sidecar)
         instance = self.algorithm(algorithm, query)
-        sweep = exhaustive_sweep(
-            instance, sample=self.sample, rng=self.rng,
-            progress=self.progress,
-            engine_factory=self.engine_factory,
-            checkpoint_factory=checkpoint_factory)
-        if journal is not None:
-            journal.commit(unit, _sweep_payload(sweep))
+        tracer = None
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            tracer = Tracer(self._trace_path(query.name, label))
+            instance.set_tracer(tracer)
+            if journal is not None:
+                journal.tracer = tracer
+        try:
+            sweep = exhaustive_sweep(
+                instance, sample=self.sample, rng=self.rng,
+                progress=self.progress,
+                engine_factory=self.engine_factory,
+                checkpoint_factory=checkpoint_factory)
+            if journal is not None:
+                journal.commit(unit, _sweep_payload(sweep))
+        finally:
+            if tracer is not None:
+                instance.set_tracer(None)
+                if journal is not None:
+                    journal.tracer = NULL_TRACER
+                tracer.close()
+        self._merge_obs(sweep)
         label = label if isinstance(algorithm, str) else instance.name
         return SweepRecord(query.name, label, instance, sweep)
 

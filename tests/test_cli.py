@@ -58,6 +58,40 @@ class TestCommands:
         assert "spillbound" in out
         assert "planbouquet" in out
 
+    def test_run_trace_then_show(self, capsys, tmp_path):
+        """Acceptance: ``run --algo ... --trace`` then ``trace show``
+        prints a timeline whose decomposition sums to the run's cost."""
+        import math
+
+        from repro.obs import decompose, read_trace
+        path = str(tmp_path / "t.jsonl")
+        code, out = run_cli(
+            ["run", "2D_Q91", "--algo", "spillbound",
+             "--resolution", "8", "--trace", path], capsys)
+        assert code == 0
+        assert "trace written to %s" % path in out
+        records = read_trace(path)
+        parts = decompose(records)
+        assert parts["total"] == parts["total_cost"]
+        assert parts["total"] == math.fsum(
+            r["spent"] for r in records if r["type"] == "execution"
+            and r["run"] == parts["run"])
+        code, out = run_cli(["trace", "show", path], capsys)
+        assert code == 0
+        assert "Execution timeline" in out
+        assert "MSO decomposition" in out
+
+    def test_sweep_trace_dir(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        code, out = run_cli(
+            ["sweep", "2D_Q91", "--resolution", "8", "--sample", "4",
+             "--algorithms", "spillbound", "--trace-dir", trace_dir],
+            capsys)
+        assert code == 0
+        assert "traces written to %s" % trace_dir in out
+        assert "Aggregated observability counters" in out
+        assert (tmp_path / "traces" / "2D_Q91-spillbound.jsonl").exists()
+
     def test_epps(self, capsys):
         code, out = run_cli(["epps", "3D_Q15"], capsys)
         assert code == 0

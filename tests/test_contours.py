@@ -39,6 +39,20 @@ class TestContourCosts:
         assert len(costs) == 8
         assert costs[-1] == 100.0
 
+    def test_no_duplicate_final_rung(self):
+        """Regression: when c_max sits within float noise of the last
+        geometric rung, the ladder used to emit a near-duplicate final
+        contour (a zero-width doubling that wastes a full budget)."""
+        c_max = 64.0 * (1 + 1e-10)
+        costs = _contour_costs(1.0, c_max, 2.0)
+        assert costs == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, c_max]
+        for a, b in zip(costs, costs[1:]):
+            assert b > a * 1.5
+
+    def test_exact_power_ladder(self):
+        costs = _contour_costs(1.0, 64.0, 2.0)
+        assert costs == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
 
 class TestFrontierMask:
     def test_members_fit_budget(self, toy_space):

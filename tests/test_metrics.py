@@ -36,6 +36,29 @@ class TestSweep:
         assert sampled.sub_optimalities.shape == (32,)
         assert sampled.mso <= full.mso + 1e-9
 
+    def test_sampled_worst_location_is_a_grid_coordinate(
+            self, toy_space, toy_contours):
+        """Regression: a sampled sweep's worst_location used to be an
+        offset into the sample, not a coordinate of the space."""
+        sb = SpillBound(toy_space, toy_contours)
+        sampled = exhaustive_sweep(sb, sample=32, rng=0)
+        worst = sampled.worst_location()
+        assert len(worst) == toy_space.grid.dims
+        assert all(0 <= i < s
+                   for i, s in zip(worst, toy_space.grid.shape))
+        # Re-running at the mapped location reproduces the sampled MSO.
+        assert sb.run(worst).sub_optimality == pytest.approx(sampled.mso)
+
+    def test_sweep_extras_always_carry_degradation_keys(
+            self, toy_space, toy_contours):
+        """Regression: an un-degraded sweep used to drop
+        ``degraded_reasons``, so consumers could not tell "clean" from
+        "not tracked"."""
+        sweep = exhaustive_sweep(SpillBound(toy_space, toy_contours),
+                                 sample=4, rng=0)
+        assert sweep.extras["degraded"] == 0
+        assert sweep.extras["degraded_reasons"] == {}
+
     def test_progress_callback(self, toy_space, toy_contours):
         calls = []
         exhaustive_sweep(

@@ -1,0 +1,372 @@
+"""Tests for the observability layer: tracer, metrics, trace reports.
+
+The load-bearing acceptance property lives in
+:class:`TestFaultyRoundTrip`: a SpillBound run on a fault-injecting
+engine writes a JSONL trace whose every record re-parses bit-identically
+and whose per-contour spend decomposition sums *exactly* (``==``, not
+approx) to the run's ``total_cost``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import RobustAlgorithm
+from repro.algorithms.planbouquet import PlanBouquet
+from repro.algorithms.spillbound import SpillBound
+from repro.engine.faulty import FaultPlan, FaultyEngine
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    answering_run,
+    decompose,
+    read_trace,
+    render_trace_report,
+)
+from repro.robustness import DiscoveryGuard, RetryPolicy
+from repro.robustness.durable import SweepJournal
+from repro.session.sweep import _sweep_from_payload, _sweep_payload
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.begin_run("x", (0, 0)) == 0
+        tracer.event("execution", spent=1.0)
+        tracer.end_run()
+        tracer.close()
+        with tracer.span("phase"):
+            pass
+
+    def test_is_the_default_on_algorithms(self):
+        assert RobustAlgorithm.tracer is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self, toy_space, toy_contours):
+        algo = SpillBound(toy_space, toy_contours)
+        algo.set_tracer(Tracer())
+        assert algo.tracer.enabled
+        algo.set_tracer(None)
+        assert algo.tracer is NULL_TRACER
+
+
+class TestTracer:
+    def test_seq_and_type(self):
+        tracer = Tracer()
+        tracer.event("alpha", x=1)
+        tracer.event("beta", y="s")
+        assert [r["seq"] for r in tracer.records] == [1, 2]
+        assert [r["type"] for r in tracer.records] == ["alpha", "beta"]
+
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("inside")
+            with tracer.span("inner"):
+                tracer.event("deep")
+        tracer.event("after")
+        by_type = {r["type"]: r for r in tracer.records}
+        assert by_type["inside"]["span"] == 1
+        assert by_type["deep"]["span"] == 2
+        assert by_type["after"]["span"] == 0
+        ends = [r for r in tracer.records if r["type"] == "span-end"]
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert all(e["dur"] >= 0.0 for e in ends)
+
+    def test_run_bracketing(self):
+        tracer = Tracer()
+        tracer.event("before")
+        run = tracer.begin_run("spillbound", (3, 4))
+        tracer.event("execution", spent=1.0)
+        tracer.end_run(total_cost=1.0)
+        tracer.event("after")
+        assert run == 1
+        by_type = {r["type"]: r for r in tracer.records}
+        assert by_type["before"]["run"] == 0
+        assert by_type["execution"]["run"] == 1
+        assert by_type["after"]["run"] == 0
+        assert by_type["run-start"]["qa_index"] == [3, 4]
+
+    def test_scrubs_numpy_and_nonfinite(self):
+        tracer = Tracer()
+        record = tracer.event(
+            "execution", spent=np.float64(2.5), ok=np.bool_(True),
+            idx=np.int64(7), bad=float("inf"),
+            nested={"v": np.float64(1.0)}, seq_like=(np.int64(1), 2))
+        assert record["spent"] == 2.5 and type(record["spent"]) is float
+        assert record["ok"] is True
+        assert record["idx"] == 7 and type(record["idx"]) is int
+        assert record["bad"] == "inf"
+        assert record["nested"] == {"v": 1.0}
+        assert record["seq_like"] == [1, 2]
+
+    def test_event_counters(self):
+        tracer = Tracer()
+        tracer.event("execution")
+        tracer.event("execution")
+        tracer.event("retry")
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["events.execution"] == 2
+        assert counters["events.retry"] == 1
+
+
+class TestTraceFile:
+    def test_round_trip_bit_identical(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            tracer.begin_run("x", (1, 2))
+            tracer.event("execution", spent=0.1 + 0.2, plan_id=3)
+            tracer.end_run(total_cost=0.1 + 0.2)
+        assert read_trace(path) == tracer.records
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            tracer.event("alpha")
+            tracer.event("beta")
+        with open(path, "a") as handle:
+            handle.write("deadbeef {\"torn\":")  # no newline: mid-append
+        assert [r["type"] for r in read_trace(path)] == ["alpha", "beta"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path) as tracer:
+            tracer.event("alpha")
+        with open(path) as handle:
+            good = handle.read()
+        with open(path, "w") as handle:
+            handle.write("00000000 {}\n" + good)
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestMetricsRegistry:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        assert registry.counter("c").value == 3.5
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_histogram_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+        assert h.to_dict() == {"count": 3, "total": 6.0,
+                               "min": 1.0, "max": 3.0}
+        assert Histogram.from_dict(h.to_dict()).to_dict() == h.to_dict()
+        assert Histogram().to_dict() == {"count": 0, "total": 0.0,
+                                         "min": None, "max": None}
+
+    def test_merge_is_additive(self):
+        a = MetricsRegistry()
+        a.counter("executions").inc(3)
+        a.gauge("level").set(1)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("executions").inc(4)
+        b.gauge("level").set(2)
+        b.histogram("h").observe(5.0)
+        merged = MetricsRegistry.from_snapshot(a.snapshot())
+        merged.merge(b.snapshot())
+        snap = merged.snapshot()
+        assert snap["counters"]["executions"] == 7
+        assert snap["gauges"]["level"] == 2  # last write wins
+        assert snap["histograms"]["h"] == {"count": 2, "total": 6.0,
+                                           "min": 1.0, "max": 5.0}
+
+
+class TestTracedRun:
+    def test_events_and_obs_snapshot(self, toy_space, toy_contours):
+        tracer = Tracer()
+        algo = SpillBound(toy_space, toy_contours).set_tracer(tracer)
+        result = algo.run((8, 8))
+        types = {r["type"] for r in tracer.records}
+        assert {"run-start", "run-end", "execution"} <= types
+        execs = [r for r in tracer.records if r["type"] == "execution"]
+        assert len(execs) == len(result.executions)
+        obs = result.extras["obs"]
+        assert obs["counters"]["executions"] == len(result.executions)
+
+    def test_tracing_changes_no_results(self, toy_space, toy_contours):
+        plain = SpillBound(toy_space, toy_contours).run((8, 8))
+        traced = SpillBound(toy_space, toy_contours) \
+            .set_tracer(Tracer()).run((8, 8))
+        assert traced.total_cost == plain.total_cost
+        assert traced.sub_optimality == plain.sub_optimality
+        assert len(traced.executions) == len(plain.executions)
+        assert "obs" not in plain.extras
+
+    def test_decomposition_matches_total_exactly(
+            self, toy_space, toy_contours):
+        tracer = Tracer()
+        algo = PlanBouquet(toy_space, toy_contours).set_tracer(tracer)
+        result = algo.run((12, 3))
+        parts = decompose(tracer.records)
+        assert parts["total"] == result.total_cost
+        assert parts["total_cost"] == result.total_cost
+        assert sum(c["executions"] for c in parts["contours"]) == \
+            len(result.executions)
+
+
+class TestGuardTracing:
+    def test_retry_and_degrade_events(self, toy_space, toy_contours):
+        tracer = Tracer()
+        guard = DiscoveryGuard(SpillBound(toy_space, toy_contours),
+                               policy=RetryPolicy(max_retries=1))
+        guard.set_tracer(tracer)
+        engine = FaultyEngine(toy_space, (8, 8),
+                              plan=FaultPlan(transient_rate=1.0))
+        result = guard.run((8, 8), engine=engine)
+        assert result.extras["degraded"] is True
+        types = [r["type"] for r in tracer.records]
+        assert types.count("retry") == 2
+        assert "degrade" in types
+        obs = result.extras["obs"]
+        assert obs["counters"]["guard.retries"] == 2
+        assert obs["counters"]["guard.degraded"] == 1
+
+    def test_degraded_decomposition_uses_answering_run(
+            self, toy_space, toy_contours):
+        tracer = Tracer()
+        guard = DiscoveryGuard(SpillBound(toy_space, toy_contours),
+                               policy=RetryPolicy(max_retries=0))
+        guard.set_tracer(tracer)
+        engine = FaultyEngine(
+            toy_space, (8, 8),
+            plan=FaultPlan(crash_rate=1.0, transient_rate=0.0, seed=4))
+        result = guard.run((8, 8), engine=engine)
+        parts = decompose(tracer.records)
+        # The discovery attempt crashed; only the fallback completed.
+        assert answering_run(tracer.records) > 1
+        assert parts["total"] == result.total_cost
+
+
+class TestCacheAndJournalEvents:
+    def test_cache_events(self, tmp_path):
+        from repro.session import RobustSession
+        tracer = Tracer()
+        session = RobustSession(tracer=tracer)
+        session.space("2D_Q91")
+        session.space("2D_Q91")
+        types = [r["type"] for r in tracer.records]
+        assert "cache-miss" in types
+        assert "cache-hit" in types
+        hit = next(r for r in tracer.records if r["type"] == "cache-hit")
+        assert hit["tier"] == "memory"
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters["cache.hit.memory"] >= 1
+
+    def test_journal_commit_event(self, tmp_path):
+        tracer = Tracer()
+        journal = SweepJournal(str(tmp_path / "journal"), fsync=False)
+        journal.tracer = tracer
+        journal.open(config={"id": 1})
+        unit = SweepJournal.unit_key("q", "spillbound")
+        journal.begin(unit)
+        journal.commit(unit, {"x": 1})
+        journal.close()
+        commits = [r for r in tracer.records
+                   if r["type"] == "journal-commit"]
+        assert len(commits) == 1
+        assert commits[0]["unit"] == unit
+
+
+class TestFaultyRoundTrip:
+    """Acceptance: trace round-trip under fault injection (S4)."""
+
+    def test_bit_identical_and_exact_decomposition(
+            self, tmp_path, toy_space, toy_contours):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path)
+        guard = DiscoveryGuard(SpillBound(toy_space, toy_contours))
+        guard.set_tracer(tracer)
+        plan = FaultPlan(crash_rate=0.2, transient_rate=0.1,
+                         corruption_rate=0.1, drift_rate=0.1, seed=5)
+        results = []
+        for flat in range(0, toy_space.grid.size, 29):
+            qa = toy_space.grid.unflat(flat)
+            engine = FaultyEngine(toy_space, qa, plan=plan)
+            results.append(guard.run(qa, engine=engine))
+        tracer.close()
+
+        replayed = read_trace(path)
+        assert replayed == tracer.records  # bit-identical round-trip
+        types = {r["type"] for r in replayed}
+        assert "execution" in types and "run-end" in types
+        assert "fault" in types  # adversity actually fired
+
+        # The last answering run's spend decomposition reconciles
+        # exactly (==, not approx) with the returned total.
+        parts = decompose(replayed)
+        assert parts["total"] == results[-1].total_cost
+
+    def test_every_run_decomposes_exactly(self, toy_space, toy_contours):
+        tracer = Tracer()
+        algo = SpillBound(toy_space, toy_contours).set_tracer(tracer)
+        totals = {}
+        for qa in [(0, 0), (8, 8), (15, 15)]:
+            run = tracer.runs + 1
+            totals[run] = algo.run(qa).total_cost
+        for run, total in totals.items():
+            assert decompose(tracer.records, run=run)["total"] == total
+
+
+class TestSweepDriverTracing:
+    def test_trace_dir_and_aggregation(self, tmp_path):
+        from repro.session import RobustSession, SweepDriver
+        session = RobustSession()
+        driver = SweepDriver(session, sample=3,
+                             trace_dir=str(tmp_path / "traces"))
+        records = list(driver.run(["2D_Q91"], ["spillbound"]))
+        assert (tmp_path / "traces" / "2D_Q91-spillbound.jsonl").exists()
+        trace = read_trace(
+            str(tmp_path / "traces" / "2D_Q91-spillbound.jsonl"))
+        assert sum(r["type"] == "run-end" for r in trace) == 3
+        obs = driver.obs_summary()
+        assert obs["counters"]["executions"] == \
+            records[0].sweep.extras["obs"]["counters"]["executions"]
+        # Tracing detaches after the unit: the instance is clean.
+        assert records[0].instance.tracer is NULL_TRACER
+
+    def test_payload_round_trips_sample_geometry(self):
+        sweep = _sweep_from_payload(_sweep_payload(
+            type("S", (), {
+                "algorithm": "sb",
+                "shape": (2,),
+                "sub_optimalities": np.array([1.5, 2.5]),
+                "extras": {"degraded": 0, "degraded_reasons": {}},
+                "sample_flats": [7, 3],
+                "grid_shape": (4, 4),
+            })()))
+        assert sweep.sample_flats == [7, 3]
+        assert sweep.grid_shape == (4, 4)
+        assert sweep.worst_location() == (0, 3)  # unravel(3, (4, 4))
+
+    def test_payload_tolerates_legacy_journals(self):
+        sweep = _sweep_from_payload({
+            "algorithm": "sb", "shape": [2],
+            "sub_optimalities": [1.0, 2.0], "extras": {}})
+        assert sweep.sample_flats is None
+        assert sweep.grid_shape is None
+
+
+class TestTraceReport:
+    def test_render_contains_sections(self, toy_space, toy_contours):
+        tracer = Tracer()
+        SpillBound(toy_space, toy_contours).set_tracer(tracer).run((8, 8))
+        text = render_trace_report(tracer.records)
+        assert "Execution timeline" in text
+        assert "Budget waterfall" in text
+        assert "MSO decomposition" in text
+        assert "Event summary" in text
+
+    def test_render_handles_empty_trace(self):
+        text = render_trace_report([])
+        assert "no completed discovery run" in text
