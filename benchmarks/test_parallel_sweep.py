@@ -1,0 +1,84 @@
+"""Wall-clock speedup of the parallel sweep backend (DESIGN.md §9).
+
+The parallel driver's whole reason to exist is wall-clock, so this
+benchmark makes it a number: the same exhaustive sweep through the
+``latency(ms=...)`` engine layer -- which models a substrate where each
+execution *takes time*, the regime the pool is for -- run serially and
+with 2 and 4 workers. Workers spend their per-execution latency
+sleeping, so the speedup shows up even on a single-core runner, exactly
+like it would against a real (I/O-bound) database substrate.
+
+Asserts >= 2x at 4 workers, verifies the grids are bit-identical across
+worker counts (the §9 contract), and emits the accounting as
+``results/BENCH_parallel_sweep.json``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR
+
+from repro.session import RobustSession, SweepDriver
+
+QUERY = "2D_Q91"
+RESOLUTION = 6
+ALGORITHMS = ("planbouquet", "spillbound", "alignedbound")
+ENGINE = "simulated+latency(ms=4)"
+WORKER_COUNTS = (1, 2, 4)
+
+#: Minimum acceptable serial/4-worker wall-clock ratio.
+SPEEDUP_FLOOR = 2.0
+
+
+def _sweep(session, workers):
+    driver = SweepDriver(session, engine_spec=ENGINE,
+                         workers=None if workers == 1 else workers)
+    start = time.perf_counter()
+    records = list(driver.run([QUERY], list(ALGORITHMS)))
+    return time.perf_counter() - start, records
+
+
+def test_parallel_sweep_speedup():
+    session = RobustSession(resolution=RESOLUTION)
+    session.space_and_contours(QUERY)    # warm the artifact cache
+
+    seconds = {}
+    grids = {}
+    for workers in WORKER_COUNTS:
+        seconds[workers], records = _sweep(session, workers)
+        grids[workers] = {r.algorithm: r.sweep.sub_optimalities
+                          for r in records}
+
+    # §9: worker count is an execution detail -- identical grids.
+    for workers in WORKER_COUNTS[1:]:
+        assert grids[workers].keys() == grids[1].keys()
+        for algorithm, grid in grids[1].items():
+            assert np.array_equal(grid, grids[workers][algorithm]), \
+                "workers=%d diverged on %s" % (workers, algorithm)
+
+    speedup = {w: seconds[1] / seconds[w] for w in WORKER_COUNTS}
+    payload = {
+        "sweep": "%s exhaustive, res %d, %s" % (QUERY, RESOLUTION,
+                                                ", ".join(ALGORITHMS)),
+        "engine": ENGINE,
+        "seconds": {str(w): seconds[w] for w in WORKER_COUNTS},
+        "speedup": {str(w): speedup[w] for w in WORKER_COUNTS},
+        "speedup_floor": SPEEDUP_FLOOR,
+        "grids_identical": True,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_parallel_sweep.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nparallel sweep: " + "  ".join(
+        "%dw %.2fs (%.2fx)" % (w, seconds[w], speedup[w])
+        for w in WORKER_COUNTS))
+
+    assert speedup[4] >= SPEEDUP_FLOOR, \
+        "4-worker speedup %.2fx below the %.1fx floor (serial %.2fs, " \
+        "4w %.2fs)" % (speedup[4], SPEEDUP_FLOOR, seconds[1],
+                       seconds[4])

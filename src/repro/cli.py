@@ -148,6 +148,20 @@ def build_parser():
     p.add_argument("--trace-dir", default=None, metavar="DIR",
                    help="write one discovery trace per (query, algorithm) "
                         "unit into DIR and print aggregated obs metrics")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="shard sweep execution over N processes; grids, "
+                        "extras and journal records are bit-identical to "
+                        "the serial sweep (requires a declarative "
+                        "--engine spec, default simulated)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                   help="grid locations per worker task (default: sized "
+                        "automatically from the grid and worker count)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="sweep-level fault seed, split per (query, "
+                        "algorithm) unit when --engine has a faulty "
+                        "layer; the split is by unit name, so serial, "
+                        "parallel and resumed sweeps draw identical "
+                        "fault schedules")
 
     p = sub.add_parser("trace", help="inspect a recorded discovery trace")
     p.add_argument("action", choices=("show",),
@@ -199,17 +213,7 @@ def _durable_sweep(out, session, query, space, algorithms, args):
     the command executes exactly the historical code.
     """
     from repro.robustness.durable import CircuitBreaker, Deadline
-    from repro.session import EngineSpec, SweepDriver
-
-    engine_factory = None
-    engine_label = None
-    if args.engine is not None:
-        spec = EngineSpec.parse(args.engine)
-        engine_label = spec.describe()
-
-        def engine_factory(qa):
-            return spec.build(space, qa_index=qa,
-                              database=session.database)
+    from repro.session import SweepDriver
 
     deadline = None
     if args.deadline is not None or args.cost_budget is not None:
@@ -221,8 +225,10 @@ def _durable_sweep(out, session, query, space, algorithms, args):
 
     driver = SweepDriver(
         session, sample=args.sample, rng=args.rng,
-        resolution=args.resolution, engine_factory=engine_factory,
-        engine_label=engine_label,
+        resolution=args.resolution, engine_spec=args.engine,
+        fault_seed=getattr(args, "fault_seed", None),
+        workers=getattr(args, "workers", None),
+        chunk_size=getattr(args, "chunk_size", None),
         journal=args.resume if args.resume is not None else args.journal,
         resume=True if args.resume is not None else None,
         deadline=deadline, breaker=breaker,
@@ -362,7 +368,9 @@ def main(argv=None):
                    or args.deadline is not None
                    or args.cost_budget is not None
                    or args.breaker is not None
-                   or args.trace_dir is not None)
+                   or args.trace_dir is not None
+                   or args.workers is not None
+                   or args.fault_seed is not None)
         if durable:
             return _durable_sweep(out, session, query, space, algorithms,
                                   args)

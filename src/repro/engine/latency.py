@@ -1,0 +1,66 @@
+"""Fixed per-execution latency: a network-attached substrate stand-in.
+
+The cost model makes simulated executions essentially free, which hides
+the property the paper's §7 parallelism argument is about: real
+executions take *wall-clock time*, and independent (query, algorithm,
+location) sweep units can overlap that time across workers.
+:class:`LatencyEngine` restores the missing dimension by sleeping a
+fixed number of milliseconds around every budgeted execution -- the
+round-trip to a network-attached engine -- while delegating the
+execution itself unchanged, so results (and therefore grids, extras and
+journal payloads) are bit-identical to the wrapped engine's.
+
+Registered as the ``latency`` spec layer::
+
+    simulated+latency(ms=5)
+    simulated+noisy(delta=0.3)+latency(ms=2)
+
+which is what ``benchmarks/test_parallel_sweep.py`` uses to measure the
+parallel sweep backend's speedup honestly on any machine (the sleeps
+overlap across worker processes even on a single core).
+"""
+
+import time
+
+
+class LatencyEngine:
+    """Engine proxy adding a fixed sleep to every budgeted execution.
+
+    ``ms`` is the per-execution delay in milliseconds. Everything other
+    than the delay -- outcomes, spend accounting, ``sound()``,
+    monitoring -- delegates to the wrapped engine, so the proxy is
+    result-invisible: it changes how long an execution takes, never
+    what it computes.
+    """
+
+    __slots__ = ("engine", "ms")
+
+    def __init__(self, engine, ms=1.0):
+        if ms < 0:
+            raise ValueError("latency ms must be >= 0")
+        self.engine = engine
+        self.ms = float(ms)
+
+    def _wait(self):
+        if self.ms > 0:
+            time.sleep(self.ms / 1000.0)
+
+    def execute(self, plan_info, budget):
+        self._wait()
+        return self.engine.execute(plan_info, budget)
+
+    def execute_spill(self, plan_info, epp, node, budget):
+        self._wait()
+        return self.engine.execute_spill(plan_info, epp, node, budget)
+
+    def sound(self):
+        """A latency-free view is still *sound*: fallbacks should not
+        pay the round-trip tax the adversity layer is simulating."""
+        inner = getattr(self.engine, "sound", None)
+        return inner() if inner is not None else self.engine
+
+    def __getattr__(self, name):
+        return getattr(self.engine, name)
+
+    def __repr__(self):
+        return "LatencyEngine(%r, ms=%g)" % (self.engine, self.ms)

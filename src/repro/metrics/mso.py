@@ -78,6 +78,72 @@ class SweepResult:
         )
 
 
+class SweepAccumulator:
+    """Order-sensitive fold of per-run accounting into sweep extras.
+
+    Both the serial sweep below and the parallel backend's parent-side
+    merge (:mod:`repro.session.parallel_sweep`) tally degradation counts,
+    reason histograms and obs-metric snapshots through this one class,
+    *in grid-location order*. That shared path is what makes parallel
+    extras bit-identical to serial ones: counter merges add floats, and
+    float addition is not associative, so the fold order is part of the
+    contract -- not an implementation detail.
+    """
+
+    __slots__ = ("degraded", "reasons", "obs")
+
+    def __init__(self):
+        self.degraded = 0
+        #: reason -> count, in first-occurrence order (insertion order
+        #: is preserved into the extras dict and hence the journal).
+        self.reasons = {}
+        self.obs = None
+
+    def add(self, degraded, reason=None, obs=None):
+        """Fold one run's accounting (its extras distilled to three
+        fields, which is the form worker processes ship back)."""
+        if degraded:
+            self.degraded += 1
+            reason = reason or "unknown"
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        if obs is not None:
+            if self.obs is None:
+                self.obs = MetricsRegistry()
+            self.obs.merge(obs)
+
+    def add_result(self, result):
+        """Fold one :class:`~repro.algorithms.base.RunResult`."""
+        self.add(bool(result.extras.get("degraded")),
+                 result.extras.get("degraded_reason"),
+                 result.extras.get("obs"))
+
+    def extras(self):
+        """The sweep-level extras dict (both keys always present, so
+        consumers never have to guess whether a missing key means
+        "clean" or "not tracked")."""
+        tally = {"degraded": self.degraded,
+                 "degraded_reasons": dict(self.reasons)}
+        if self.obs is not None:
+            tally["obs"] = self.obs.snapshot()
+        return tally
+
+
+def sample_locations(grid, sample, rng):
+    """``(positions' flat grid indices, sampled?)`` for one sweep unit.
+
+    The single authority on which locations a (possibly sampled) sweep
+    visits and in what order: the serial sweep and the parallel
+    backend's chunk planner both call this, so the same ``rng`` draws
+    the same locations no matter how execution is scheduled.
+    """
+    total = grid.size
+    if sample is not None and sample < total:
+        flats = np.random.default_rng(rng).choice(
+            total, size=sample, replace=False)
+        return [int(f) for f in flats], True
+    return list(range(total)), False
+
+
 def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
                      engine_factory=None, checkpoint_factory=None):
     """Run ``algorithm`` with every grid location as the hidden truth.
@@ -107,57 +173,29 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
     """
     space = algorithm.space
     grid = space.grid
-    degraded = 0
-    reasons = {}
-    obs = None
+    acc = SweepAccumulator()
 
     def run_at(index):
-        nonlocal degraded, obs
         engine = engine_factory(index) if engine_factory else None
         checkpoint = checkpoint_factory(index) if checkpoint_factory \
             else None
         result = algorithm.run(index, engine=engine,
                                checkpoint=checkpoint)
-        if result.extras.get("degraded"):
-            degraded += 1
-            reason = result.extras.get("degraded_reason") or "unknown"
-            reasons[reason] = reasons.get(reason, 0) + 1
-        snapshot = result.extras.get("obs")
-        if snapshot is not None:
-            if obs is None:
-                obs = MetricsRegistry()
-            obs.merge(snapshot)
+        acc.add_result(result)
         return result.sub_optimality
 
-    def extras():
-        # Both keys are always present (an un-degraded sweep reports
-        # zero and an empty tally) so consumers never have to guess
-        # whether a missing key means "clean" or "not tracked".
-        tally = {"degraded": degraded,
-                 "degraded_reasons": dict(reasons)}
-        if obs is not None:
-            tally["obs"] = obs.snapshot()
-        return tally
-
-    total = grid.size
-    if sample is not None and sample < total:
-        rng = np.random.default_rng(rng)
-        flats = rng.choice(total, size=sample, replace=False)
-        subopts = np.empty(sample)
-        for pos, flat in enumerate(flats):
-            subopts[pos] = run_at(grid.unflat(int(flat)))
-            if progress:
-                progress(pos + 1, sample)
-        return SweepResult(algorithm.name, subopts, (sample,),
-                           extras=extras(),
-                           sample_flats=[int(f) for f in flats],
-                           grid_shape=tuple(grid.shape))
-    subopts = np.empty(total)
-    for flat in range(total):
-        subopts[flat] = run_at(grid.unflat(flat))
+    flats, sampled = sample_locations(grid, sample, rng)
+    subopts = np.empty(len(flats))
+    for pos, flat in enumerate(flats):
+        subopts[pos] = run_at(grid.unflat(int(flat)))
         if progress:
-            progress(flat + 1, total)
+            progress(pos + 1, len(flats))
+    if sampled:
+        return SweepResult(algorithm.name, subopts, (len(flats),),
+                           extras=acc.extras(),
+                           sample_flats=list(flats),
+                           grid_shape=tuple(grid.shape))
     return SweepResult(
         algorithm.name, subopts.reshape(grid.shape), grid.shape,
-        extras=extras()
+        extras=acc.extras()
     )

@@ -50,7 +50,7 @@ def src_path():
 
 
 def sweep_command(journal_dir, workload, resolution, sample, algorithms,
-                  resume=False, rng=0):
+                  resume=False, rng=0, workers=None):
     """The ``python -m repro sweep`` argv for one (resumable) run."""
     cmd = [
         sys.executable, "-m", "repro", "sweep", workload,
@@ -59,6 +59,8 @@ def sweep_command(journal_dir, workload, resolution, sample, algorithms,
         "--rng", str(rng),
         "--algorithms", ",".join(algorithms),
     ]
+    if workers is not None:
+        cmd += ["--workers", str(workers)]
     cmd += ["--resume" if resume else "--journal", journal_dir]
     return cmd
 
@@ -137,14 +139,16 @@ class ChaosOutcome:
             self.kills, self.kill_records, len(self.grids))
 
 
-def _launch(journal_dir, workload, resolution, sample, algorithms, rng):
+def _launch(journal_dir, workload, resolution, sample, algorithms, rng,
+            workers=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (src_path(), env.get("PYTHONPATH")) if p)
     resume = SweepJournal.exists(journal_dir)
     return subprocess.Popen(
         sweep_command(journal_dir, workload, resolution, sample,
-                      algorithms, resume=resume, rng=rng),
+                      algorithms, resume=resume, rng=rng,
+                      workers=workers),
         env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
 
 
@@ -173,7 +177,7 @@ def _kill_after(proc, journal_dir, threshold):
 
 def run_chaos(journal_dir, workload="2D_Q91", resolution=10, sample=16,
               algorithms=("planbouquet", "spillbound", "alignedbound"),
-              kills=3, seed=0, rng=0):
+              kills=3, seed=0, rng=0, workers=None):
     """Kill a journaled sweep ``kills`` times, then let it finish.
 
     Each round launches the real CLI sweep against ``journal_dir``
@@ -182,7 +186,11 @@ def run_chaos(journal_dir, workload="2D_Q91", resolution=10, sample=16,
     ``default_rng(seed)``), and SIGKILLs it. A child that completes
     before reaching its kill point ends the killing early (the sweep is
     done). A final run is then driven to completion and the journal's
-    evidence collected into a :class:`ChaosOutcome`.
+    evidence collected into a :class:`ChaosOutcome`. ``workers`` runs
+    every child sweep through the parallel backend (``--workers N``),
+    so the SIGKILL lands on a parent mid-merge with live worker
+    processes -- the recovery contract is identical because only the
+    parent writes the journal.
     """
     chaos_rng = np.random.default_rng(seed)
     delivered = 0
@@ -191,7 +199,7 @@ def run_chaos(journal_dir, workload="2D_Q91", resolution=10, sample=16,
     while delivered < kills:
         before = len(journal_records(journal_dir))
         proc = _launch(journal_dir, workload, resolution, sample,
-                       algorithms, rng)
+                       algorithms, rng, workers=workers)
         launches += 1
         threshold = before + int(chaos_rng.integers(1, 4))
         at = _kill_after(proc, journal_dir, threshold)
@@ -201,7 +209,7 @@ def run_chaos(journal_dir, workload="2D_Q91", resolution=10, sample=16,
         kill_records.append(at)
     # Drive the sweep to completion (possibly the first clean pass).
     proc = _launch(journal_dir, workload, resolution, sample,
-                   algorithms, rng)
+                   algorithms, rng, workers=workers)
     launches += 1
     if proc.wait(timeout=WAIT_TIMEOUT) != 0:
         raise RuntimeError("final chaos resume exited non-zero")

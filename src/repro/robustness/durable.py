@@ -249,6 +249,28 @@ class CircuitBreaker:
     def is_open(self):
         return self.state == self.OPEN
 
+    def stats(self):
+        """Pickle/JSON-safe snapshot of this breaker's accounting.
+
+        Shipped across process boundaries by the parallel sweep backend;
+        :meth:`absorb` folds it into another breaker.
+        """
+        return {"threshold": self.threshold, "cooldown": self.cooldown,
+                "failures": self.failures, "state": self.state,
+                "fast_fails": self.fast_fails, "opened": self.opened}
+
+    def absorb(self, stats):
+        """Fold another breaker's *reporting* counters into this one.
+
+        Only ``opened`` and ``fast_fails`` accumulate -- they answer
+        "how often did crash hygiene kick in anywhere". The local state
+        machine (``state``, consecutive ``failures``) is deliberately
+        untouched: a remote breaker tripping is evidence about *its*
+        stream of attempts, not a command to fast-fail ours.
+        """
+        self.opened += int(stats.get("opened", 0))
+        self.fast_fails += int(stats.get("fast_fails", 0))
+
     def __repr__(self):
         return "CircuitBreaker(%s, failures=%d/%d, opened=%d)" % (
             self.state, self.failures, self.threshold, self.opened)
@@ -277,6 +299,27 @@ class JournalStats:
     def __repr__(self):
         return ("JournalStats(replayed=%d, executed=%d, truncated=%d)"
                 % (self.replayed, self.executed, self.truncated_records))
+
+
+def _config_compatible(requested, recorded):
+    """May a sweep with ``requested`` config resume ``recorded``'s WAL?
+
+    Everything that changes *what a unit computes* (sampling, seeds,
+    resolution, engine, contour knobs) must match exactly. The
+    ``algorithms`` list alone may differ: units are keyed by
+    ``query/algorithm`` name, so dropping an algorithm simply leaves its
+    commits unread, and adding one runs fresh units -- neither can
+    replay a wrong result. Without this carve-out a resume that narrows
+    the algorithm list (the natural "just finish spillbound" move after
+    a crash) was refused outright.
+    """
+    if requested == recorded:
+        return True
+    if not isinstance(requested, dict) or not isinstance(recorded, dict):
+        return False
+    relaxed = {k: v for k, v in requested.items() if k != "algorithms"}
+    return relaxed == {k: v for k, v in recorded.items()
+                       if k != "algorithms"}
 
 
 class SweepJournal:
@@ -357,7 +400,7 @@ class SweepJournal:
             if existing:
                 self._replay()
                 if config is not None and self.config is not None \
-                        and config != self.config:
+                        and not _config_compatible(config, self.config):
                     raise JournalError(
                         "journal at %s records a different sweep "
                         "config:\n  journal: %r\n  request: %r"
@@ -518,8 +561,19 @@ class SweepJournal:
 
     def checkpoint_path(self, unit):
         """Sidecar path for the unit's per-run discovery checkpoint
-        (PR 1's :class:`DiscoveryCheckpoint` JSON format)."""
-        safe = re.sub(r"[^A-Za-z0-9._-]", "_", unit)
+        (PR 1's :class:`DiscoveryCheckpoint` JSON format).
+
+        Unsafe characters are percent-encoded (UTF-8 bytes, fixed-width
+        ``%XX``), which is *injective*: distinct unit keys always get
+        distinct sidecars. The previous lossy ``_`` substitution mapped
+        e.g. ``2D_Q91/spillbound`` and ``2D_Q91_spillbound`` to the same
+        file, so one unit's resume could consume another's state.
+        """
+        safe = re.sub(
+            r"[^A-Za-z0-9._-]",
+            lambda m: "".join("%%%02X" % b
+                              for b in m.group(0).encode("utf-8")),
+            unit)
         return os.path.join(self.path, "inflight-%s.json" % safe)
 
     def begin(self, unit):

@@ -30,7 +30,7 @@ from repro.session.session import (
     default_session,
     set_default_session,
 )
-from repro.session.sweep import SweepDriver, SweepRecord
+from repro.session.sweep import SweepDriver, SweepRecord, unit_fault_seed
 
 __all__ = [
     "ArtifactCache",
@@ -48,4 +48,5 @@ __all__ = [
     "set_default_session",
     "SweepDriver",
     "SweepRecord",
+    "unit_fault_seed",
 ]

@@ -117,6 +117,18 @@ def _noisy(engine, space, qa_index, **kwargs):
     return NoisyEngine(space, engine.qa_index, **kwargs)
 
 
+@register_layer("latency")
+def _latency(engine, space, qa_index, **kwargs):
+    from repro.engine.latency import LatencyEngine
+
+    allowed = {"ms"}
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise DiscoveryError(
+            "unknown latency-layer arguments %s" % sorted(unknown))
+    return LatencyEngine(engine, **kwargs)
+
+
 @register_layer("faulty")
 def _faulty(engine, space, qa_index, plan=None, **kwargs):
     if plan is None:
@@ -272,6 +284,28 @@ class BreakerBoard:
     def open_count(self):
         """Total times any breaker on the board tripped open."""
         return sum(b.opened for b in self._breakers.values())
+
+    def export(self):
+        """``{spec key: breaker stats}`` snapshot (JSON/pickle-safe).
+
+        The parallel sweep backend ships these from worker processes so
+        the parent can fold crash-hygiene accounting back into its own
+        board with :meth:`absorb`.
+        """
+        return {key: breaker.stats()
+                for key, breaker in self._breakers.items()}
+
+    def absorb(self, exported):
+        """Fold another board's exported stats into this one.
+
+        Only the *reporting* counters are folded (``opened``,
+        ``fast_fails``, ``failures``); the local breakers' live state
+        machines are untouched -- a worker's breaker tripping says the
+        substrate misbehaved over there, not that attempts here must now
+        fast-fail.
+        """
+        for key, stats in exported.items():
+            self.breaker_for(key).absorb(stats)
 
     def __len__(self):
         return len(self._breakers)

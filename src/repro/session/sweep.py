@@ -30,14 +30,53 @@ Durability (all opt-in, inert by default):
 """
 
 import os
+import zlib
 
 import numpy as np
 
+from repro.common.errors import DiscoveryError
 from repro.metrics.mso import SweepResult, exhaustive_sweep
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.robustness import DiscoveryCheckpoint
 from repro.robustness.durable import SweepJournal
+from repro.session.registry import EngineSpec
+
+
+def unit_fault_seed(base_seed, unit):
+    """The per-unit fault seed split from a sweep-level ``fault_seed``.
+
+    Derived from the *unit key* (``query/algorithm``), not the unit's
+    position in the dispatch order, so the same unit draws the same
+    fault schedule whether the sweep runs serially, across N workers,
+    or resumes with a different algorithm list. CRC32 keeps it cheap,
+    stable across processes and Python versions, and independent of
+    ``PYTHONHASHSEED``.
+    """
+    return (int(base_seed) + zlib.crc32(unit.encode("utf-8"))) % (2 ** 31)
+
+
+def spec_engine_factory(spec, space, database, fault_seed, unit):
+    """Per-location engine factory for one sweep unit of ``spec``.
+
+    The declarative twin of the ad-hoc closures call sites used to
+    build: with ``fault_seed`` set and a faulty layer present, the
+    unit's split seed (:func:`unit_fault_seed`) overrides the layer's
+    own, so every unit sees an independent—but reproducible—fault
+    stream. Both the serial and the parallel execution paths construct
+    engines through this one function, which is half of the determinism
+    contract (the other half is the merge order; see DESIGN.md §9).
+    """
+    overrides = {}
+    if fault_seed is not None and any(
+            name == "faulty" for name, _kwargs in spec.layers):
+        overrides["seed"] = unit_fault_seed(fault_seed, unit)
+
+    def factory(qa):
+        return spec.build(space, qa_index=qa, database=database,
+                          **overrides)
+
+    return factory
 
 
 class SweepRecord:
@@ -127,7 +166,12 @@ class SweepDriver:
     def __init__(self, session, sample=None, rng=0, resolution=None,
                  lam=None, ratio=None, engine_factory=None, progress=None,
                  journal=None, resume=None, deadline=None, breaker=None,
-                 reuse_inflight=False, engine_label=None, trace_dir=None):
+                 reuse_inflight=False, engine_label=None, trace_dir=None,
+                 engine_spec=None, fault_seed=None, workers=None,
+                 chunk_size=None):
+        if engine_factory is not None and engine_spec is not None:
+            raise DiscoveryError(
+                "pass engine_factory= or engine_spec=, not both")
         self.session = session
         self.sample = sample
         self.rng = rng
@@ -135,6 +179,22 @@ class SweepDriver:
         self.lam = lam
         self.ratio = ratio
         self.engine_factory = engine_factory
+        #: Declarative execution environment for every run (an
+        #: :class:`~repro.session.registry.EngineSpec` or spec string).
+        #: Unlike ``engine_factory`` this form can cross process
+        #: boundaries, so it is required for ``workers > 1``.
+        self.engine_spec = None if engine_spec is None \
+            else EngineSpec.parse(engine_spec)
+        #: Sweep-level fault seed, split per unit via
+        #: :func:`unit_fault_seed` when the spec has a faulty layer.
+        self.fault_seed = fault_seed
+        #: Process-pool width; ``None``/``1`` runs serially, ``> 1``
+        #: routes execution through
+        #: :mod:`repro.session.parallel_sweep` (bit-identical results).
+        self.workers = workers
+        #: Locations per worker task (``None`` sizes chunks
+        #: automatically from the grid and worker count).
+        self.chunk_size = chunk_size
         self.progress = progress
         #: Canonical name of the engine_factory's environment, folded
         #: into the journal fingerprint (a resume on a different
@@ -195,9 +255,24 @@ class SweepDriver:
     # ------------------------------------------------------------------
     # journal plumbing
 
+    def _engine_name(self):
+        """Canonical name of the sweep's execution environment."""
+        if self.engine_label is not None:
+            return self.engine_label
+        if self.engine_spec is not None:
+            return self.engine_spec.describe()
+        return self.session.engine_spec.describe()
+
     def _config(self, queries, algorithms):
-        """Sweep fingerprint stored in (and checked against) the WAL."""
-        return {
+        """Sweep fingerprint stored in (and checked against) the WAL.
+
+        ``workers`` is deliberately absent: parallel execution is
+        bit-identical to serial, so a journal written by either may be
+        resumed by the other. ``fault_seed`` joins the fingerprint only
+        when set, keeping journals from before the knob existed
+        resumable.
+        """
+        config = {
             "queries": [self.session.query(q).name for q in queries],
             "algorithms": [self._label(a) for a in algorithms],
             "sample": self.sample,
@@ -205,9 +280,11 @@ class SweepDriver:
             "resolution": self.resolution,
             "lam": self.lam,
             "ratio": self.ratio,
-            "engine": self.engine_label
-            or self.session.engine_spec.describe(),
+            "engine": self._engine_name(),
         }
+        if self.fault_seed is not None:
+            config["fault_seed"] = self.fault_seed
+        return config
 
     def _open_journal(self, queries, algorithms):
         if self.journal is None:
@@ -258,6 +335,10 @@ class SweepDriver:
         """
         queries = list(queries)
         algorithms = list(algorithms)
+        if self.workers is not None and self.workers > 1:
+            from repro.session.parallel_sweep import parallel_run
+            yield from parallel_run(self, queries, algorithms)
+            return
         journal = self._open_journal(queries, algorithms)
         if journal is not None:
             self.journal_stats = journal.stats
@@ -274,12 +355,26 @@ class SweepDriver:
         return os.path.join(self.trace_dir,
                             "%s-%s.jsonl" % (query_name, label))
 
+    def _unit_engine_factory(self, query, unit):
+        """The per-location engine factory for one unit (or ``None``).
+
+        With a declarative ``engine_spec`` the factory is derived from
+        the spec (splitting the fault seed per unit); an explicit
+        ``engine_factory`` is returned as-is for every unit.
+        """
+        if self.engine_spec is None:
+            return self.engine_factory
+        space, _contours = self.artifacts(query)
+        return spec_engine_factory(self.engine_spec, space,
+                                   self.session.database,
+                                   self.fault_seed, unit)
+
     def _unit(self, journal, query, algorithm):
         """Run (or replay) one ``(query, algorithm)`` unit."""
         label = self._label(algorithm)
+        unit = SweepJournal.unit_key(query.name, label)
         checkpoint_factory = None
         if journal is not None:
-            unit = SweepJournal.unit_key(query.name, label)
             payload = journal.replay_result(unit)
             if payload is not None:
                 instance = self.algorithm(algorithm, query)
@@ -301,7 +396,7 @@ class SweepDriver:
             sweep = exhaustive_sweep(
                 instance, sample=self.sample, rng=self.rng,
                 progress=self.progress,
-                engine_factory=self.engine_factory,
+                engine_factory=self._unit_engine_factory(query, unit),
                 checkpoint_factory=checkpoint_factory)
             if journal is not None:
                 journal.commit(unit, _sweep_payload(sweep))

@@ -5,6 +5,9 @@ session-scoped; tests must not mutate them (algorithms never do -- all
 run state lives in per-run objects).
 """
 
+import os
+import random
+
 import pytest
 
 from repro.catalog.schema import Catalog, Column, Table
@@ -12,6 +15,24 @@ from repro.ess.contours import ContourSet
 from repro.ess.space import ExplorationSpace
 from repro.harness.workloads import workload
 from repro.query.query import Query, make_filter, make_join
+
+
+def pytest_collection_modifyitems(config, items):
+    """Shuffle test order when ``REPRO_TEST_ORDER_SEED`` is set.
+
+    Every test must pass in any order -- session-scoped fixtures are
+    shared but immutable, and nothing may leak through module globals
+    or the default session. CI runs the suite both in file order and
+    under a seeded shuffle so order-dependence fails loudly instead of
+    hiding behind the conventional ordering. Reproduce a CI failure
+    with the same seed::
+
+        REPRO_TEST_ORDER_SEED=42 python -m pytest -q
+    """
+    seed = os.environ.get("REPRO_TEST_ORDER_SEED")
+    if not seed:
+        return
+    random.Random(int(seed)).shuffle(items)
 
 
 @pytest.fixture(scope="session")

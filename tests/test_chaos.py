@@ -69,6 +69,27 @@ def test_sigkill_recovery_is_bit_identical(tmp_path):
         assert np.array_equal(grid, outcome.grids[unit]), unit
 
 
+@pytest.mark.slow
+def test_sigkill_mid_parallel_sweep_recovers(tmp_path):
+    """SIGKILL lands on the *parent* of a --workers sweep: its forked
+    workers die with it (broken pipes), yet only the parent ever writes
+    the journal, so resume gives the same exactly-once, bit-identical
+    recovery the serial chaos run guarantees."""
+    outcome = chaos.run_chaos(str(tmp_path / "journal"),
+                              workload=WORKLOAD,
+                              resolution=RESOLUTION, sample=SAMPLE,
+                              algorithms=ALGORITHMS, kills=2, seed=1,
+                              workers=2)
+    assert outcome.kills >= 1
+    assert all(n > 0 for n in outcome.kill_records)
+    assert outcome.problems == []
+    assert len(outcome.grids) == len(ALGORITHMS)
+    clean = _clean_grids(tmp_path)
+    assert sorted(clean) == sorted(outcome.grids)
+    for unit, grid in clean.items():
+        assert np.array_equal(grid, outcome.grids[unit]), unit
+
+
 def test_verify_single_execution_flags_reexecution(tmp_path):
     from repro.robustness.durable import SweepJournal
 

@@ -271,6 +271,28 @@ class TestSweepJournal:
             journal.open(config={"sample": 20})
         assert "different sweep config" in str(exc.value)
 
+    def test_algorithm_list_change_is_compatible(self, tmp_path):
+        # Adding or removing algorithms between runs only changes which
+        # units exist, never the meaning of a committed unit, so resume
+        # must accept it (regression: this used to refuse the journal).
+        _open_journal(tmp_path,
+                      config={"id": 1, "algorithms": ["sb", "pb"]}).close()
+        with _open_journal(
+                tmp_path,
+                config={"id": 1, "algorithms": ["sb", "pb", "ab"]}):
+            pass
+        with _open_journal(tmp_path,
+                           config={"id": 1, "algorithms": ["sb"]}):
+            pass
+
+    def test_non_algorithm_change_is_still_refused(self, tmp_path):
+        _open_journal(tmp_path,
+                      config={"id": 1, "algorithms": ["sb"]}).close()
+        journal = SweepJournal(str(tmp_path / "journal"), fsync=False)
+        with pytest.raises(JournalError) as exc:
+            journal.open(config={"id": 2, "algorithms": ["sb"]})
+        assert "different sweep config" in str(exc.value)
+
     def test_resume_expectations(self, tmp_path):
         journal = SweepJournal(str(tmp_path / "journal"), fsync=False)
         with pytest.raises(JournalError):
@@ -353,6 +375,16 @@ class TestSweepJournal:
         sidecar = journal.checkpoint_path(unit)
         assert os.path.dirname(sidecar) == journal.path
         assert "/" not in os.path.basename(sidecar)[len("inflight-"):]
+        journal.close()
+
+    def test_sidecar_names_are_injective(self, tmp_path):
+        # Regression: the old lossy sanitiser mapped every non-filename
+        # character to "_", so units "q/a" and "q_a" shared a sidecar
+        # and a resume could replay the wrong unit's checkpoint.
+        journal = _open_journal(tmp_path)
+        paths = {journal.checkpoint_path(unit)
+                 for unit in ("q/a", "q_a", "q%2Fa", "q a", "q\ta")}
+        assert len(paths) == 5
         journal.close()
 
     def test_records_reads_without_the_lock(self, tmp_path):
