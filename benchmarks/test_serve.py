@@ -1,0 +1,189 @@
+"""Serving-daemon latency and overload benchmark.
+
+Measures client-observed p50/p99 latency against a live daemon at
+several concurrency levels in three regimes:
+
+* **cold** -- every request names a distinct artifact fingerprint
+  (distinct ``rng``, which is part of the content address), so each
+  pays its own space build;
+* **warm** -- the same requests again, now answered from the artifact
+  cache;
+* **coalesced** -- all requests at a level share one *cold*
+  fingerprint, so the daemon must perform exactly one discovery
+  computation per level (asserted via the coalescing counters).
+
+A separate stingy daemon (2 slots, queue of 2, a slow engine) is then
+driven past saturation to show the overload contract: explicit shed
+responses carrying ``retry_after_ms``, and a bounded p99 for everything
+that was answered -- nothing queues unboundedly.
+
+Emits ``results/BENCH_serve.json``.
+"""
+
+import json
+import os
+import threading
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+QUERY = "3D_Q15"
+RESOLUTION = 6
+LEVELS = (2, 8, 32)
+OVERLOAD_CLIENTS = 16
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _fire(path, build_payload, n):
+    """``n`` barrier-synchronised clients; returns (responses, ms)."""
+    responses = [None] * n
+    latencies = [None] * n
+    barrier = threading.Barrier(n)
+
+    def worker(i):
+        with ServeClient(path=path, timeout=120.0,
+                         raise_errors=False) as client:
+            barrier.wait(30)
+            start = time.perf_counter()
+            responses[i] = client.request(build_payload(i))
+            latencies[i] = (time.perf_counter() - start) * 1e3
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(180)
+    assert all(r is not None for r in responses), "unanswered requests"
+    return responses, latencies
+
+
+def _summary(latencies):
+    return {"p50_ms": round(_percentile(latencies, 0.50), 3),
+            "p99_ms": round(_percentile(latencies, 0.99), 3),
+            "max_ms": round(max(latencies), 3)}
+
+
+def test_serve_latency_and_overload(tmp_path):
+    sock = str(tmp_path / "bench.sock")
+    config = ServeConfig(path=sock, max_inflight=4, max_queue=64,
+                         tenant_capacity=500.0, tenant_rate=500.0,
+                         default_deadline_ms=120000.0)
+    payload = {"levels": {}, "query": QUERY, "resolution": RESOLUTION,
+               "max_inflight": config.max_inflight}
+
+    with ServerThread(config=config) as server:
+        daemon = server.daemon
+        for level in LEVELS:
+            level_report = {}
+
+            def cold(i, _level=level):
+                return {"op": "run", "query": QUERY,
+                        "resolution": RESOLUTION,
+                        "tenant": "bench-%d" % i,
+                        "rng": 1000 * _level + i}
+
+            responses, lat = _fire(sock, cold, level)
+            assert all(r["ok"] for r in responses)
+            level_report["cold"] = _summary(lat)
+
+            responses, lat = _fire(sock, cold, level)
+            assert all(r["ok"] for r in responses)
+            assert all(r["served"] == "cached" for r in responses)
+            level_report["warm"] = _summary(lat)
+
+            before = daemon.coalescer.stats.snapshot()
+
+            def identical(i, _level=level):
+                return {"op": "run", "query": QUERY,
+                        "resolution": RESOLUTION,
+                        "tenant": "bench-%d" % i,
+                        "rng": 1000 * _level + 999}
+
+            responses, lat = _fire(sock, identical, level)
+            assert all(r["ok"] for r in responses)
+            after = daemon.coalescer.stats.snapshot()
+            dispatched = after["dispatched"] - before["dispatched"]
+            coalesced = after["coalesced"] - before["coalesced"]
+            # The tentpole proof at benchmark scale: one computation.
+            assert dispatched == 1, \
+                "%d identical requests dispatched %d computations" \
+                % (level, dispatched)
+            assert coalesced == level - 1
+            level_report["coalesced"] = dict(
+                _summary(lat), dispatched=dispatched,
+                coalesced=coalesced)
+            payload["levels"][str(level)] = level_report
+
+    # ------------------------------------------------------------------
+    # overload: a stingy daemon pushed past saturation
+
+    sock2 = str(tmp_path / "stingy.sock")
+    stingy = ServeConfig(path=sock2, max_inflight=2, max_queue=2,
+                         tenant_capacity=100.0, tenant_rate=100.0,
+                         default_deadline_ms=120000.0)
+    with ServerThread(config=stingy) as server:
+        def slow(i):
+            return {"op": "run", "query": QUERY,
+                    "resolution": RESOLUTION,
+                    "tenant": "ovl-%d" % i,
+                    "engine": "simulated+latency(ms=30)",
+                    "rng": 5000 + i}
+
+        responses, lat = _fire(sock2, slow, OVERLOAD_CLIENTS)
+        ok = [r for r in responses if r["ok"]]
+        shed = [r for r in responses if not r["ok"]]
+        assert ok, "saturated daemon answered nothing"
+        assert shed, "16 slow clients against 2+2 capacity must shed"
+        assert all(r["error"] == "overloaded" for r in shed)
+        assert all(r.get("retry_after_ms") is not None for r in shed)
+        p99 = _percentile(lat, 0.99)
+        # Bounded tail: worst case is queue depth x service time plus
+        # the run itself, far under an unbounded pile-up.
+        assert p99 < 60000.0
+        payload["overload"] = {
+            "clients": OVERLOAD_CLIENTS,
+            "capacity": "2 slots + 2 queue",
+            "ok": len(ok),
+            "shed": len(shed),
+            "shed_rate": round(len(shed) / len(responses), 3),
+            "retry_after_ms": sorted(
+                r["retry_after_ms"] for r in shed)[:5],
+            "latency": _summary(lat),
+        }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = ["serve bench (%s res %d):" % (QUERY, RESOLUTION)]
+    for level in LEVELS:
+        report = payload["levels"][str(level)]
+        lines.append(
+            "  n=%-3d cold p50 %.1fms p99 %.1fms | warm p50 %.2fms "
+            "p99 %.2fms | coalesced p50 %.1fms p99 %.1fms (1 dispatch)"
+            % (level,
+               report["cold"]["p50_ms"], report["cold"]["p99_ms"],
+               report["warm"]["p50_ms"], report["warm"]["p99_ms"],
+               report["coalesced"]["p50_ms"],
+               report["coalesced"]["p99_ms"]))
+    overload = payload["overload"]
+    lines.append("  overload: %d ok, %d shed (rate %.2f), p99 %.1fms"
+                 % (overload["ok"], overload["shed"],
+                    overload["shed_rate"],
+                    overload["latency"]["p99_ms"]))
+    print("\n" + "\n".join(lines))
+
+    # Warm requests must be far cheaper than cold at every level.
+    for level in LEVELS:
+        report = payload["levels"][str(level)]
+        assert report["warm"]["p50_ms"] < report["cold"]["p99_ms"]

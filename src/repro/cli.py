@@ -200,6 +200,37 @@ def build_parser():
                    help="benchmark-suite fidelity (slow); default is a "
                         "quick pass")
 
+    p = sub.add_parser("serve",
+                       help="long-lived serving daemon (line-JSON over "
+                            "TCP or a unix socket)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7451)
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="on-disk artifact tier shared across restarts")
+    p.add_argument("--resolution", type=int, default=None,
+                   help="default grid resolution for served artifacts")
+    p.add_argument("--engine", default="simulated", metavar="SPEC",
+                   help="default execution environment")
+    p.add_argument("--tenant-rate", type=float, default=16.0,
+                   metavar="R", help="per-tenant refill rate "
+                   "(requests/second)")
+    p.add_argument("--tenant-burst", type=float, default=32.0,
+                   metavar="B", help="per-tenant burst capacity")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   metavar="N",
+                   help="concurrent discovery computations "
+                        "(default: min(4, cores))")
+    p.add_argument("--max-queue", type=int, default=32, metavar="N",
+                   help="admitted requests allowed to wait for a slot")
+    p.add_argument("--default-deadline", type=float, default=30000.0,
+                   metavar="MS",
+                   help="server-side per-request ceiling in ms")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   metavar="S",
+                   help="seconds to wait for in-flight work on SIGTERM")
+
     return parser
 
 
@@ -452,6 +483,37 @@ def main(argv=None):
         with open(args.out, "w") as handle:
             handle.write(text)
         out.write("wrote %s\n" % args.out)
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.serve import RobustServeDaemon, ServeConfig
+        config = ServeConfig(
+            path=args.socket, host=args.host, port=args.port,
+            cache_dir=args.cache_dir, resolution=args.resolution,
+            engine=args.engine, tenant_capacity=args.tenant_burst,
+            tenant_rate=args.tenant_rate,
+            max_inflight=args.max_inflight, max_queue=args.max_queue,
+            default_deadline_ms=args.default_deadline,
+            drain_grace_s=args.drain_grace)
+        daemon = RobustServeDaemon(config=config)
+
+        async def _serve():
+            await daemon.start()
+            out.write("%s\n" % config.describe())
+            out.flush()
+            await daemon.run_async()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        out.write("drained: %d requests served, %d coalesced, "
+                  "%d shed\n"
+                  % (daemon.metrics.counter("serve.requests").value,
+                     daemon.coalescer.stats.coalesced,
+                     daemon.metrics.counter("serve.shed").value))
         return 0
 
     raise AssertionError("unhandled command %r" % args.command)

@@ -65,16 +65,21 @@ class DeadlineExceededError(ReproError):
 
     ``reason`` is ``"wall_clock"`` or ``"cost_budget"``; ``elapsed`` and
     ``spent`` record how far past the budgets the run was when the check
-    fired. The graceful-degradation guard converts this into a
-    degraded-but-terminating answer instead of letting it propagate.
+    fired. ``layer`` names the deadline *layer* that expired (e.g.
+    ``"client"``, ``"server"``, ``"sweep"``) when the deadline was
+    labelled, so nested budgets report which one actually fired; it is
+    ``None`` for unlabelled deadlines. The graceful-degradation guard
+    converts this into a degraded-but-terminating answer instead of
+    letting it propagate.
     """
 
     def __init__(self, message, reason="wall_clock", elapsed=0.0,
-                 spent=0.0):
+                 spent=0.0, layer=None):
         super().__init__(message)
         self.reason = reason
         self.elapsed = elapsed
         self.spent = spent
+        self.layer = layer
 
 
 class JournalError(ReproError):

@@ -18,18 +18,22 @@ contract from single runs to whole sweeps: a write-ahead
 from repro.robustness.checkpoint import DiscoveryCheckpoint
 from repro.robustness.durable import (
     CircuitBreaker,
+    CompositeDeadline,
     Deadline,
     DeadlineEngine,
     SweepJournal,
+    compose_deadlines,
 )
 from repro.robustness.guard import DiscoveryGuard, RetryPolicy
 
 __all__ = [
     "CircuitBreaker",
+    "CompositeDeadline",
     "Deadline",
     "DeadlineEngine",
     "DiscoveryCheckpoint",
     "DiscoveryGuard",
     "RetryPolicy",
     "SweepJournal",
+    "compose_deadlines",
 ]

@@ -35,6 +35,7 @@ DiscoveryGuard already promises).
 
 import os
 import re
+import threading as _threading
 import time
 
 from repro.common.atomicio import (
@@ -72,12 +73,19 @@ class Deadline:
     Checks are *cooperative*: they fire at execution boundaries, so a
     run always overshoots by at most one execution -- the same
     granularity at which the paper's budgeted executions are aborted.
+
+    ``label`` optionally names the *layer* this deadline belongs to
+    (``"client"``, ``"server"``, ``"sweep"``); when it expires the label
+    travels on :class:`DeadlineExceededError.layer`, so nested budgets
+    (see :func:`compose_deadlines`) report which layer actually fired
+    instead of an anonymous ``deadline-wall_clock``.
     """
 
-    __slots__ = ("wall_limit", "cost_limit", "clock", "started", "spent")
+    __slots__ = ("wall_limit", "cost_limit", "clock", "started", "spent",
+                 "label")
 
     def __init__(self, wall_limit=None, cost_limit=None, clock=None,
-                 start=None):
+                 start=None, label=None):
         if wall_limit is not None and wall_limit < 0:
             raise ValueError("wall_limit must be >= 0")
         if cost_limit is not None and cost_limit < 0:
@@ -87,6 +95,7 @@ class Deadline:
         self.clock = clock or time.monotonic
         self.started = self.clock() if start is None else start
         self.spent = 0.0
+        self.label = label
 
     def elapsed(self):
         return self.clock() - self.started
@@ -107,11 +116,14 @@ class Deadline:
         """Raise :class:`DeadlineExceededError` if a budget has expired."""
         reason = self.exceeded()
         if reason is not None:
+            where = " [%s]" % self.label if self.label else ""
             raise DeadlineExceededError(
-                "deadline exceeded (%s): elapsed %.3fs of %s, spent %.4g "
-                "of %s" % (reason, self.elapsed(),
-                           self.wall_limit, self.spent, self.cost_limit),
-                reason=reason, elapsed=self.elapsed(), spent=self.spent)
+                "deadline%s exceeded (%s): elapsed %.3fs of %s, spent "
+                "%.4g of %s" % (where, reason, self.elapsed(),
+                                self.wall_limit, self.spent,
+                                self.cost_limit),
+                reason=reason, elapsed=self.elapsed(), spent=self.spent,
+                layer=self.label)
 
     def remaining_wall(self):
         """Seconds left on the wall budget (``None`` when unbounded)."""
@@ -119,9 +131,114 @@ class Deadline:
             return None
         return max(0.0, self.wall_limit - self.elapsed())
 
+    def remaining_cost(self):
+        """Cost units left on the spend budget (``None`` = unbounded)."""
+        if self.cost_limit is None:
+            return None
+        return max(0.0, self.cost_limit - self.spent)
+
     def __repr__(self):
-        return "Deadline(wall=%s, cost=%s, elapsed=%.3f, spent=%.4g)" % (
-            self.wall_limit, self.cost_limit, self.elapsed(), self.spent)
+        tag = "%s, " % self.label if self.label else ""
+        return "Deadline(%swall=%s, cost=%s, elapsed=%.3f, spent=%.4g)" % (
+            tag, self.wall_limit, self.cost_limit, self.elapsed(),
+            self.spent)
+
+
+class CompositeDeadline:
+    """Several nested deadline layers enforced as one.
+
+    A serving daemon stacks budgets: the client's request deadline, the
+    server's per-request ceiling, possibly a sweep-level budget. The
+    composite presents the same cooperative interface as
+    :class:`Deadline` -- ``check``/``charge``/``exceeded``/
+    ``remaining_wall`` -- while always binding to the **minimum
+    remaining budget** across its parts: ``remaining_wall()`` is the
+    smallest part's remainder, a charge lands on *every* part, and the
+    first part to expire raises with *its* label on
+    :class:`DeadlineExceededError.layer`, so the degraded reason names
+    which layer fired. Build composites with :func:`compose_deadlines`,
+    which flattens nesting and elides ``None``/single-layer cases.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        parts = tuple(parts)
+        if len(parts) < 2:
+            raise ValueError("a composite needs >= 2 deadline layers")
+        self.parts = parts
+
+    def charge(self, cost):
+        """Account spend against every layer's cost budget."""
+        for part in self.parts:
+            part.charge(cost)
+
+    def exceeded(self):
+        """The first expired layer's reason, or ``None``."""
+        for part in self.parts:
+            reason = part.exceeded()
+            if reason is not None:
+                return reason
+        return None
+
+    def check(self):
+        """Raise the first expired layer's own error (label intact)."""
+        for part in self.parts:
+            part.check()
+
+    def remaining_wall(self):
+        """Minimum remaining wall budget across layers (``None`` when
+        every layer is wall-unbounded)."""
+        remains = [r for r in (p.remaining_wall() for p in self.parts)
+                   if r is not None]
+        return min(remains) if remains else None
+
+    def remaining_cost(self):
+        """Minimum remaining cost budget across layers."""
+        remains = [r for r in (p.remaining_cost() for p in self.parts)
+                   if r is not None]
+        return min(remains) if remains else None
+
+    @property
+    def label(self):
+        """The label of the layer with the least remaining wall budget
+        (the layer most likely to fire next); ``None`` if indeterminate."""
+        best, best_remaining = None, None
+        for part in self.parts:
+            remaining = part.remaining_wall()
+            if remaining is None:
+                continue
+            if best_remaining is None or remaining < best_remaining:
+                best, best_remaining = part.label, remaining
+        return best
+
+    def __repr__(self):
+        return "CompositeDeadline(%s)" % ", ".join(
+            repr(p) for p in self.parts)
+
+
+def compose_deadlines(*deadlines):
+    """The effective deadline of nested layers, or ``None``.
+
+    ``None`` entries are elided; one survivor is returned as-is (zero
+    overhead for the common single-budget case); two or more become a
+    :class:`CompositeDeadline` bound to the minimum remaining budget.
+    Nested composites are flattened so the firing layer's label is
+    always a leaf :class:`Deadline`'s.
+    """
+    flat = []
+    for deadline in deadlines:
+        if deadline is None:
+            continue
+        if isinstance(deadline, CompositeDeadline):
+            flat.extend(deadline.parts)
+        else:
+            flat.append(deadline)
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return CompositeDeadline(flat)
 
 
 class DeadlineEngine:
@@ -187,10 +304,17 @@ class CircuitBreaker:
     that is *down* (every execution crashes) costs one retry ladder for
     the first unit and a fast native fallback for the rest, instead of
     ``max_retries`` crashes per unit.
+
+    Breakers are safe to share across threads: the serving daemon runs
+    guarded discoveries on a thread pool against one
+    :class:`~repro.session.registry.BreakerBoard`, so every state
+    transition (``allow`` / ``record_failure`` / ``record_success``)
+    happens under a per-breaker mutex -- two threads can never both
+    observe ``threshold - 1`` failures and double-trip the breaker.
     """
 
     __slots__ = ("threshold", "cooldown", "failures", "state",
-                 "fast_fails", "opened", "probing")
+                 "fast_fails", "opened", "probing", "_mutex")
 
     CLOSED = "closed"
     OPEN = "open"
@@ -209,41 +333,45 @@ class CircuitBreaker:
         #: Times the breaker tripped open (reporting).
         self.opened = 0
         self.probing = False
+        self._mutex = _threading.Lock()
 
     def allow(self):
         """May an attempt run now? ``False`` means fast-fail."""
-        if self.state == self.CLOSED:
-            return True
-        if self.state == self.HALF_OPEN:
-            self.probing = True
-            return True
-        # open: count the refusal; cool down into half-open.
-        self.fast_fails += 1
-        if self.fast_fails >= self.cooldown:
-            self.state = self.HALF_OPEN
-        return False
+        with self._mutex:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.HALF_OPEN:
+                self.probing = True
+                return True
+            # open: count the refusal; cool down into half-open.
+            self.fast_fails += 1
+            if self.fast_fails >= self.cooldown:
+                self.state = self.HALF_OPEN
+            return False
 
     def record_failure(self):
         """One :class:`EngineCrashError` observed."""
-        self.failures += 1
-        if self.state == self.HALF_OPEN:
-            # The probe crashed: re-open and restart the cooldown.
-            self.state = self.OPEN
-            self.opened += 1
-            self.fast_fails = 0
-            self.probing = False
-        elif self.state == self.CLOSED and \
-                self.failures >= self.threshold:
-            self.state = self.OPEN
-            self.opened += 1
-            self.fast_fails = 0
+        with self._mutex:
+            self.failures += 1
+            if self.state == self.HALF_OPEN:
+                # The probe crashed: re-open and restart the cooldown.
+                self.state = self.OPEN
+                self.opened += 1
+                self.fast_fails = 0
+                self.probing = False
+            elif self.state == self.CLOSED and \
+                    self.failures >= self.threshold:
+                self.state = self.OPEN
+                self.opened += 1
+                self.fast_fails = 0
 
     def record_success(self):
         """One attempt terminated without crashing."""
-        self.failures = 0
-        if self.state == self.HALF_OPEN:
-            self.state = self.CLOSED
-            self.probing = False
+        with self._mutex:
+            self.failures = 0
+            if self.state == self.HALF_OPEN:
+                self.state = self.CLOSED
+                self.probing = False
 
     @property
     def is_open(self):
@@ -255,9 +383,11 @@ class CircuitBreaker:
         Shipped across process boundaries by the parallel sweep backend;
         :meth:`absorb` folds it into another breaker.
         """
-        return {"threshold": self.threshold, "cooldown": self.cooldown,
-                "failures": self.failures, "state": self.state,
-                "fast_fails": self.fast_fails, "opened": self.opened}
+        with self._mutex:
+            return {"threshold": self.threshold,
+                    "cooldown": self.cooldown,
+                    "failures": self.failures, "state": self.state,
+                    "fast_fails": self.fast_fails, "opened": self.opened}
 
     def absorb(self, stats):
         """Fold another breaker's *reporting* counters into this one.
@@ -268,8 +398,9 @@ class CircuitBreaker:
         untouched: a remote breaker tripping is evidence about *its*
         stream of attempts, not a command to fast-fail ours.
         """
-        self.opened += int(stats.get("opened", 0))
-        self.fast_fails += int(stats.get("fast_fails", 0))
+        with self._mutex:
+            self.opened += int(stats.get("opened", 0))
+            self.fast_fails += int(stats.get("fast_fails", 0))
 
     def __repr__(self):
         return "CircuitBreaker(%s, failures=%d/%d, opened=%d)" % (

@@ -171,13 +171,18 @@ class DiscoveryGuard(RobustAlgorithm):
             except DeadlineExceededError as exc:
                 # An expired budget is not damage to retry through: the
                 # partial attempt's spend is wasted, and the fallback
-                # produces the degraded-but-terminating answer.
+                # produces the degraded-but-terminating answer. A
+                # labelled (layered) deadline names the layer that fired
+                # -- "deadline-client-wall_clock" -- so nested budgets
+                # stay distinguishable in degradation tables.
                 wasted += metered.spent_this_run if metered else 0.0
+                fired = exc.reason if not exc.layer \
+                    else "%s-%s" % (exc.layer, exc.reason)
                 return self._degrade(
                     qa_index, engine, retries, wasted,
                     ["deadline exceeded (%s) after %.3gs / %.4g cost "
-                     "units" % (exc.reason, exc.elapsed, exc.spent)],
-                    reason="deadline-%s" % exc.reason)
+                     "units" % (fired, exc.elapsed, exc.spent)],
+                    reason="deadline-%s" % fired)
             except TransientEngineError:
                 retries += 1
                 self._trace_retry("transient", retries, wasted)

@@ -1,0 +1,98 @@
+"""A minimal blocking client for the serving daemon.
+
+Tests, benchmarks and the smoke harness all talk to the daemon through
+:class:`ServeClient`: one socket (TCP or unix), one JSON line per
+request, one line back. The client is deliberately synchronous --
+concurrency in the test harnesses comes from threads, which also makes
+the daemon's event loop face realistic socket interleaving.
+
+Not thread-safe: use one client per thread (connections are cheap).
+"""
+
+import socket
+
+from repro.common.errors import ReproError
+from repro.serve.protocol import decode_message, encode_message
+
+
+class ServeError(ReproError):
+    """An error response from the daemon, surfaced as an exception.
+
+    Raised only by the convenience wrappers (:meth:`ServeClient.run`
+    etc.) when ``raise_errors`` is on; ``request()`` always returns the
+    raw response dict so callers can inspect shed/drain payloads.
+    """
+
+    def __init__(self, payload):
+        super().__init__("%s: %s" % (payload.get("error"),
+                                     payload.get("message")))
+        self.payload = payload
+        self.code = payload.get("error")
+        self.retry_after_ms = payload.get("retry_after_ms")
+
+
+class ServeClient:
+    """Line-JSON client for :class:`~repro.serve.daemon.RobustServeDaemon`."""
+
+    def __init__(self, path=None, host="127.0.0.1", port=7451,
+                 timeout=30.0, raise_errors=True):
+        self.raise_errors = raise_errors
+        if path:
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(path)
+        else:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        self._recv = self._sock.makefile("rb")
+        self._seq = 0
+
+    def close(self):
+        try:
+            self._recv.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, payload):
+        """Send one request dict, return the raw response dict."""
+        if "id" not in payload:
+            self._seq += 1
+            payload = dict(payload, id=self._seq)
+        self._sock.sendall(encode_message(payload))
+        line = self._recv.readline()
+        if not line:
+            raise ReproError("daemon closed the connection")
+        return decode_message(line)
+
+    def _call(self, payload):
+        response = self.request(payload)
+        if self.raise_errors and not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    def run(self, query, **fields):
+        """One discovery run; returns the full response envelope."""
+        return self._call(dict(fields, op="run", query=query))
+
+    def warm(self, query, **fields):
+        """Build + cache the artifact without running discovery."""
+        return self._call(dict(fields, op="warm", query=query))
+
+    def health(self):
+        return self._call({"op": "health"})
+
+    def stats(self):
+        """The daemon's full observability snapshot."""
+        return self._call({"op": "stats"})["result"]
+
+    def __repr__(self):
+        return "ServeClient(%r)" % (self._sock,)

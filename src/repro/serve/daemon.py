@@ -1,0 +1,689 @@
+"""The robust-query serving daemon.
+
+``repro serve`` turns the one-shot session library into a long-lived
+service: one warm :class:`~repro.session.RobustSession` (shared
+artifact cache, shared :class:`~repro.session.BreakerBoard`) admits
+concurrent discovery requests from many tenants over line-delimited
+JSON (:mod:`repro.serve.protocol`), with the robustness posture the
+paper argues for at the plan level -- *bounded worst case, graceful
+degradation* -- applied at the serving level:
+
+* **admission control** (:mod:`repro.serve.admission`): per-tenant
+  token buckets and a bounded wait queue; refusals carry
+  ``retry_after_ms`` instead of queueing unboundedly;
+* **request coalescing** (:mod:`repro.serve.coalesce`): identical
+  ``(query, resolution, engine-spec, algorithm, truth)`` requests join
+  one in-flight computation, keyed by the artifact cache's
+  content-address fingerprint;
+* **the degradation ladder**: under deadline pressure a request is
+  served from the warm cache if possible, else at a degraded
+  resolution, else by the native-optimizer fallback, else shed -- every
+  step named in the response's ``degraded_reasons`` exactly like
+  ``RunResult.extras``;
+* **deadline propagation**: the client budget and the server's
+  per-request ceiling compose into one layered
+  :class:`~repro.robustness.durable.Deadline` (minimum remaining budget
+  wins), enforced cooperatively inside the discovery run by the
+  existing guard machinery, so an expiry degrades with a
+  ``deadline-client-*`` / ``deadline-server-*`` reason;
+* **lifecycle**: SIGTERM/SIGINT starts a drain (finish in-flight work,
+  refuse new with ``retry_after_ms``), and ``health`` / ``stats`` are
+  answered throughout, exposing the
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+Discovery computations are CPU-bound synchronous Python, so they run on
+a thread pool (``loop.run_in_executor``); the session's cache and
+breaker board are therefore the thread-safe variants, and all serving
+bookkeeping stays confined to the event loop.
+"""
+
+import asyncio
+import concurrent.futures
+import os
+import signal
+import time
+
+from repro.common.errors import ReproError
+from repro.ess.space import default_resolution
+from repro.obs.metrics import MetricsRegistry
+from repro.robustness import Deadline, compose_deadlines
+from repro.serve.admission import AdmissionController, TenantBudgets
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DRAINING,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.session import EngineSpec, RobustSession
+from repro.session.cache import SpaceKey
+
+
+class ServeConfig:
+    """Every serving knob in one place (all have sane defaults).
+
+    ``path`` selects a unix socket; ``host``/``port`` a TCP endpoint
+    (exactly one of the two). The degradation ladder is controlled by
+    the ``*_floor_ms`` thresholds (remaining deadline budget below
+    which the next rung engages) and the ``pressure_*`` thresholds
+    (admission-queue occupancy in [0, 1] above which the rung engages
+    even with deadline to spare).
+    """
+
+    __slots__ = (
+        "path", "host", "port", "cache_dir", "resolution", "engine",
+        "tenant_capacity", "tenant_rate", "max_inflight", "max_queue",
+        "retry_cap_s", "default_deadline_ms", "shed_floor_ms",
+        "native_floor_ms", "cold_floor_ms", "degraded_resolution",
+        "pressure_lowres", "pressure_native", "drain_grace_s",
+        "coalesce_redispatch", "clock",
+    )
+
+    def __init__(self, path=None, host="127.0.0.1", port=7451,
+                 cache_dir=None, resolution=None, engine="simulated",
+                 tenant_capacity=32.0, tenant_rate=16.0,
+                 max_inflight=None, max_queue=32, retry_cap_s=5.0,
+                 default_deadline_ms=30000.0, shed_floor_ms=5.0,
+                 native_floor_ms=50.0, cold_floor_ms=400.0,
+                 degraded_resolution=6, pressure_lowres=0.6,
+                 pressure_native=0.9, drain_grace_s=10.0,
+                 coalesce_redispatch=1, clock=None):
+        self.path = path
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.resolution = resolution
+        self.engine = engine
+        self.tenant_capacity = tenant_capacity
+        self.tenant_rate = tenant_rate
+        if max_inflight is None:
+            max_inflight = min(4, os.cpu_count() or 1)
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_cap_s = retry_cap_s
+        self.default_deadline_ms = default_deadline_ms
+        self.shed_floor_ms = shed_floor_ms
+        self.native_floor_ms = native_floor_ms
+        self.cold_floor_ms = cold_floor_ms
+        self.degraded_resolution = degraded_resolution
+        self.pressure_lowres = pressure_lowres
+        self.pressure_native = pressure_native
+        self.drain_grace_s = drain_grace_s
+        self.coalesce_redispatch = coalesce_redispatch
+        self.clock = clock or time.monotonic
+
+    def describe(self):
+        where = self.path if self.path else "%s:%d" % (self.host,
+                                                       self.port)
+        return ("serve on %s: %d slots + %d queue, tenant %g burst @ "
+                "%g/s, ceiling %gms"
+                % (where, self.max_inflight, self.max_queue,
+                   self.tenant_capacity, self.tenant_rate,
+                   self.default_deadline_ms))
+
+
+class _ServicePlan:
+    """One admitted request, resolved against the degradation ladder."""
+
+    __slots__ = ("request", "query", "algorithm", "resolution", "spec",
+                 "qa", "deadline", "served", "reasons", "fingerprint",
+                 "space_key")
+
+    def __init__(self, request, query, algorithm, resolution, spec, qa,
+                 deadline, served, reasons, space_key):
+        self.request = request
+        self.query = query
+        self.algorithm = algorithm
+        self.resolution = resolution
+        self.spec = spec
+        self.qa = qa
+        self.deadline = deadline
+        self.served = served
+        self.reasons = reasons
+        self.space_key = space_key
+        qa_tag = ",".join(str(i) for i in qa) if qa else "-"
+        self.fingerprint = "/".join((
+            space_key.digest(), algorithm, spec.describe(), qa_tag,
+            request.op))
+
+
+class RobustServeDaemon:
+    """Long-lived serving loop over one warm session. See module docs."""
+
+    def __init__(self, config=None, session=None):
+        self.config = config or ServeConfig()
+        if session is None:
+            session = RobustSession(cache_dir=self.config.cache_dir,
+                                    resolution=self.config.resolution,
+                                    engine_spec=self.config.engine,
+                                    guard=True, breaker=True)
+        elif session.breakers is None:
+            raise ReproError(
+                "the serving daemon needs a session with a BreakerBoard "
+                "(breaker=True) so engine crashes fast-fail for all "
+                "tenants")
+        self.session = session
+        self.metrics = MetricsRegistry()
+        self.budgets = TenantBudgets(self.config.tenant_capacity,
+                                     self.config.tenant_rate,
+                                     clock=self.config.clock)
+        self.admission = AdmissionController(
+            self.budgets, max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            retry_cap=self.config.retry_cap_s)
+        self.coalescer = Coalescer(
+            redispatch=self.config.coalesce_redispatch)
+        self.draining = False
+        self.started_at = None
+        self.bound_to = None
+        self._server = None
+        self._slots = None
+        self._stopped = None
+        self._pending = 0
+        self._writers = set()
+        self._executor = None
+        self._drain_task = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self):
+        """Bind the socket, install signal handlers, get ready."""
+        self.started_at = self.config.clock()
+        self._stopped = asyncio.Event()
+        self._slots = asyncio.Semaphore(self.config.max_inflight)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-serve")
+        if self.config.path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.path)
+            self.bound_to = self.config.path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port)
+            sock = self._server.sockets[0].getsockname()
+            self.bound_to = "%s:%d" % (sock[0], sock[1])
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.initiate_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix loops; CLI still drains via KeyboardInterrupt
+        return self
+
+    async def run_async(self):
+        """Serve until drained (the CLI's main coroutine)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopped.wait()
+        finally:
+            await self._finalize()
+
+    def initiate_drain(self):
+        """Begin a graceful shutdown: finish in-flight, reject new.
+
+        Idempotent; safe to call from a signal handler on the loop.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self._drain_task = asyncio.ensure_future(self._drain())
+
+    async def _drain(self):
+        if self._server is not None:
+            self._server.close()
+        # Existing connections stay open for the grace period: their
+        # in-flight requests finish and late ones get explicit
+        # ``draining`` rejections instead of a slammed socket. Drain
+        # completes as soon as every client has hung up.
+        grace = self.config.drain_grace_s
+        deadline = self.config.clock() + grace
+        while (self._pending > 0 or self._writers) \
+                and self.config.clock() < deadline:
+            await asyncio.sleep(0.02)
+        try:
+            await asyncio.wait_for(self.coalescer.drain(),
+                                   timeout=max(0.1, deadline
+                                               - self.config.clock()))
+        except asyncio.TimeoutError:
+            pass
+        self._stopped.set()
+
+    async def _finalize(self):
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self.config.path and os.path.exists(self.config.path):
+            try:
+                os.unlink(self.config.path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # connection + request plumbing
+
+    async def _handle_connection(self, reader, writer):
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_line(self, line):
+        t0 = self.config.clock()
+        request_id = None
+        try:
+            request = Request.parse(line)
+            request_id = request.id
+            response = await self._service(request, t0)
+        except ProtocolError as exc:
+            self.metrics.counter("serve.errors.bad_request").inc()
+            response = error_response(request_id, ERR_BAD_REQUEST,
+                                      str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # never let one request kill the loop
+            self.metrics.counter("serve.errors.internal").inc()
+            response = error_response(
+                request_id, ERR_INTERNAL,
+                "%s: %s" % (type(exc).__name__, exc))
+        self.metrics.histogram("serve.latency_ms").observe(
+            (self.config.clock() - t0) * 1e3)
+        return response
+
+    async def _service(self, request, t0):
+        self.metrics.counter("serve.requests").inc()
+        self.metrics.counter("serve.requests.%s" % request.op).inc()
+        if request.op == "health":
+            return ok_response(request.id, self._health_payload(),
+                               served="control")
+        if request.op == "stats":
+            return ok_response(request.id, self.stats_payload(),
+                               served="control")
+        if self.draining:
+            self.metrics.counter("serve.shed").inc()
+            self.metrics.counter("serve.shed.draining").inc()
+            return error_response(
+                request.id, ERR_DRAINING,
+                "daemon is draining; retry against a peer",
+                retry_after_ms=self.config.retry_cap_s * 1e3)
+        return await self._service_compute(request, t0)
+
+    # ------------------------------------------------------------------
+    # the degradation ladder
+
+    def _plan(self, request, deadline, pressure):
+        """Resolve a request against the ladder into a service plan.
+
+        Rungs, in order of preference: serve the cached artifact →
+        degrade resolution (cold build it can't afford) → native
+        fallback → shed (returns ``None``, caller sheds). Every rung
+        taken is recorded in the plan's ``reasons``. ``deadline`` is
+        the already-ticking layered budget (queue wait has been
+        charged against it by the time the ladder runs).
+        """
+        cfg = self.config
+        session = self.session
+        remaining = deadline.remaining_wall() if deadline else None
+        remaining_ms = remaining * 1e3 if remaining is not None else None
+        query = session.query(request.query)
+        reasons = []
+        if remaining_ms is not None and remaining_ms <= cfg.shed_floor_ms:
+            return None
+        resolution = request.resolution
+        if resolution is None:
+            resolution = session.resolution \
+                or default_resolution(query.dimensions)
+        requested_resolution = resolution
+        spec = EngineSpec.parse(request.engine) if request.engine \
+            else session.engine_spec
+        algorithm = request.algorithm
+
+        def key_at(res):
+            return SpaceKey.of(query, resolution=res, mode=session.mode,
+                               s_min=session.s_min, rng=request.rng)
+
+        tier = session.cache.probe(key_at(resolution))
+        served = "cached" if tier else "full"
+        if request.op == "run" and algorithm != "native":
+            if tier is None:
+                # Cold build ahead: can this request afford it?
+                lowres = None
+                if remaining_ms is not None \
+                        and remaining_ms <= cfg.cold_floor_ms:
+                    lowres = "lowres-deadline"
+                elif pressure >= cfg.pressure_lowres:
+                    lowres = "lowres-pressure"
+                if lowres and cfg.degraded_resolution \
+                        and resolution > cfg.degraded_resolution:
+                    resolution = cfg.degraded_resolution
+                    reasons.append(lowres)
+                    tier = session.cache.probe(key_at(resolution))
+                    served = "cached" if tier else "lowres"
+            native = None
+            if remaining_ms is not None \
+                    and remaining_ms <= cfg.native_floor_ms:
+                native = "native-deadline"
+            elif pressure >= cfg.pressure_native:
+                native = "native-pressure"
+            if native and tier is None:
+                # Still facing a cold build (or a full run) it cannot
+                # afford: answer with the native optimizer instead.
+                algorithm = "native"
+                reasons.append(native)
+                served = "native"
+        qa = self._resolve_qa(request, query, resolution,
+                              requested_resolution)
+        for rung in reasons:
+            self.metrics.counter(
+                "serve.degraded.%s" % rung.split("-")[0]).inc()
+        # The *shared* computation runs under the server ceiling only:
+        # the client's own budget bounds how long this caller waits
+        # (and fed the ladder above), but must not leak into a result
+        # that coalesced followers with larger budgets will share.
+        return _ServicePlan(request, query, algorithm, resolution, spec,
+                            qa, self._server_deadline(), served,
+                            reasons, key_at(resolution))
+
+    @staticmethod
+    def _resolve_qa(request, query, resolution, requested_resolution):
+        """The hidden-truth index under the *final* resolution.
+
+        An explicit ``qa`` names indices in the requested grid; when
+        the ladder degraded the resolution the indices are rescaled
+        proportionally so the truth stays at the same fractional ESS
+        location. ``qa=None`` keeps the session's historical 70%
+        default.
+        """
+        dims = query.dimensions
+        if request.qa is None:
+            return tuple(int(resolution * 0.7) for _ in range(dims))
+        qa = request.qa
+        if len(qa) != dims:
+            raise ProtocolError(
+                "qa has %d indices for a %dD query" % (len(qa), dims))
+        if any(i < 0 or i >= requested_resolution for i in qa):
+            raise ProtocolError(
+                "qa indices must lie in [0, %d)" % requested_resolution)
+        if resolution != requested_resolution:
+            scale = resolution / float(requested_resolution)
+            qa = tuple(min(resolution - 1, int(i * scale)) for i in qa)
+        return tuple(qa)
+
+    def _server_deadline(self):
+        if self.config.default_deadline_ms is None:
+            return None
+        return Deadline(
+            wall_limit=self.config.default_deadline_ms / 1e3,
+            clock=self.config.clock, label="server")
+
+    def _deadline_for(self, request):
+        """Compose the client budget with the server ceiling."""
+        client = None
+        if request.deadline_ms is not None:
+            client = Deadline(wall_limit=request.deadline_ms / 1e3,
+                              clock=self.config.clock, label="client")
+        return compose_deadlines(client, self._server_deadline())
+
+    # ------------------------------------------------------------------
+    # admitted execution
+
+    async def _service_compute(self, request, t0):
+        decision = self.admission.admit(request.tenant)
+        if not decision:
+            self.metrics.counter("serve.shed").inc()
+            self.metrics.counter(
+                "serve.shed.%s" % decision.reason).inc()
+            return error_response(
+                request.id, ERR_OVERLOADED,
+                "overloaded (%s) for tenant %r"
+                % (decision.reason, request.tenant),
+                retry_after_ms=(decision.retry_after or 0.0) * 1e3)
+        self.metrics.counter("serve.admitted").inc()
+        queued = decision.queued
+        self._pending += 1
+        try:
+            return await self._run_admitted(request, t0, queued)
+        finally:
+            self._pending -= 1
+
+    async def _run_admitted(self, request, t0, queued):
+        """Plan, coalesce, compute, respond -- for one admitted request.
+
+        Coalescing happens *before* the compute-slot wait: a request
+        whose fingerprint is already in flight joins that computation
+        immediately and never consumes a slot, so N identical
+        concurrent requests cost one slot total regardless of
+        ``max_inflight``. The slot semaphore is acquired inside the
+        shared task (by its leader); each caller's own wait is bounded
+        by its composed client+server deadline.
+        """
+        deadline = self._deadline_for(request)
+        try:
+            plan = self._plan(request, deadline,
+                              self.admission.pressure())
+            if plan is None:
+                self.metrics.counter("serve.shed").inc()
+                self.metrics.counter("serve.shed.deadline").inc()
+                return error_response(
+                    request.id, ERR_OVERLOADED,
+                    "deadline too small to serve at any rung",
+                    retry_after_ms=self.admission.service_ema * 1e3)
+            loop = asyncio.get_running_loop()
+
+            async def shared():
+                await self._slots.acquire()
+                try:
+                    self.metrics.histogram(
+                        "serve.queue_wait_ms").observe(
+                        (self.config.clock() - t0) * 1e3)
+                    return await loop.run_in_executor(
+                        self._executor, self._compute, plan)
+                finally:
+                    self._slots.release()
+
+            # Callers wait under their composed budget -- unless the
+            # ladder already degraded *because of* that budget, in
+            # which case the request accepted a late-but-degraded
+            # answer over a shed: the wait then runs under the server
+            # ceiling alone.
+            waiter = deadline
+            if any(r.endswith("-deadline") for r in plan.reasons):
+                waiter = plan.deadline
+            remaining = waiter.remaining_wall() if waiter else None
+            try:
+                result, coalesced = await asyncio.wait_for(
+                    self.coalescer.run(plan.fingerprint, shared),
+                    timeout=remaining)
+            except asyncio.TimeoutError:
+                # This caller's budget ran out while waiting; the
+                # shared computation keeps running and lands in the
+                # warm cache for the next attempt.
+                self.metrics.counter("serve.shed").inc()
+                self.metrics.counter("serve.shed.deadline").inc()
+                return error_response(
+                    request.id, ERR_OVERLOADED,
+                    "deadline expired while waiting for computation",
+                    retry_after_ms=self.admission.service_ema * 1e3)
+            reasons = list(plan.reasons)
+            guard_reason = (result or {}).get("degraded_reason")
+            if guard_reason:
+                reasons.append(guard_reason)
+            if coalesced:
+                self.metrics.counter("serve.coalesced").inc()
+            self.metrics.counter("serve.served.%s" % plan.served).inc()
+            return ok_response(
+                request.id, result, served=plan.served,
+                degraded_reasons=reasons, coalesced=coalesced,
+                elapsed_ms=(self.config.clock() - t0) * 1e3)
+        finally:
+            if queued:
+                self.admission.promote()
+            self.admission.release(self.config.clock() - t0)
+
+    def _compute(self, plan):
+        """The blocking discovery computation (thread-pool side).
+
+        Every step resolves through the shared warm session: the space
+        and contours come from (and land in) the artifact cache, the
+        per-spec circuit breaker is shared across tenants, and the
+        layered deadline rides into the run via the guard.
+        """
+        session = self.session
+        space, contours = session.space_and_contours(
+            plan.query, resolution=plan.resolution,
+            rng=plan.request.rng)
+        if plan.request.op == "warm":
+            return {"op": "warm", "resolution": plan.resolution,
+                    "cached": True,
+                    "contours": len(contours)}
+        breaker = session.breakers.breaker_for(plan.spec) \
+            if session.breakers is not None else None
+        algo = session.algorithm(plan.algorithm, space=space,
+                                 contours=contours,
+                                 deadline=plan.deadline,
+                                 breaker=breaker)
+        engine = None
+        if plan.spec != EngineSpec.parse("simulated"):
+            engine = plan.spec.build(space, qa_index=plan.qa,
+                                     database=session.database)
+        result = algo.run(plan.qa, engine=engine)
+        extras = result.extras
+        return {
+            "op": "run",
+            "algorithm": result.algorithm,
+            "resolution": plan.resolution,
+            "qa": list(plan.qa),
+            "total_cost": float(result.total_cost),
+            "optimal_cost": float(result.optimal_cost),
+            "sub_optimality": float(result.sub_optimality),
+            "executions": result.num_executions,
+            "degraded": bool(extras.get("degraded")),
+            "degraded_reason": extras.get("degraded_reason"),
+            "retries": extras.get("retries", 0),
+            "wasted_cost": float(extras.get("wasted_cost", 0.0)),
+        }
+
+    # ------------------------------------------------------------------
+    # control plane
+
+    def _health_payload(self):
+        uptime = self.config.clock() - self.started_at \
+            if self.started_at is not None else 0.0
+        return {"ok": True, "protocol": PROTOCOL_VERSION,
+                "draining": self.draining,
+                "uptime_s": round(uptime, 3),
+                "pending": self._pending}
+
+    def stats_payload(self):
+        """The full observability snapshot ``stats`` returns."""
+        payload = self._health_payload()
+        payload.update({
+            "metrics": self.metrics.snapshot(),
+            "coalescing": self.coalescer.stats.snapshot(),
+            "admission": self.admission.snapshot(),
+            "tenants": self.budgets.snapshot(),
+            "cache": {
+                "entries": len(self.session.cache),
+                "summary": self.session.cache.stats.describe(),
+            },
+            "breakers": self.session.breakers.export()
+            if self.session.breakers is not None else {},
+        })
+        return payload
+
+    def __repr__(self):
+        return "RobustServeDaemon(%s%s)" % (
+            self.bound_to or "unbound",
+            ", draining" if self.draining else "")
+
+
+class ServerThread:
+    """Run a daemon on a background thread (tests, benchmarks, embeds).
+
+    ``start()`` returns once the socket is bound; ``stop()`` initiates
+    the drain from outside the loop and joins. The daemon's stats
+    remain readable from the calling thread after ``stop()``.
+    """
+
+    def __init__(self, config=None, session=None):
+        self.daemon = RobustServeDaemon(config=config, session=session)
+        self._thread = None
+        self._loop = None
+        self._ready = None
+        self._failure = None
+
+    def _main(self):
+        import threading
+        assert isinstance(self._ready, threading.Event)
+        try:
+            asyncio.run(self._serve())
+        except Exception as exc:  # surface bind errors to start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _serve(self):
+        await self.daemon.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.daemon.run_async()
+
+    def start(self, timeout=10.0):
+        import threading
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve-daemon",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("serve daemon did not start in %gs"
+                             % timeout)
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self, timeout=15.0):
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.daemon.initiate_drain)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ReproError("serve daemon did not drain in %gs"
+                             % timeout)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

@@ -1,0 +1,192 @@
+"""Wire protocol of the robust-query serving daemon.
+
+One line of UTF-8 JSON per message, in both directions, over TCP or a
+unix socket -- no framing beyond ``\\n``, no external dependencies, and
+any language with a socket and a JSON parser is a client.
+
+Requests
+--------
+::
+
+    {"op": "run",  "id": 1, "tenant": "acme", "query": "2D_Q91",
+     "algorithm": "spillbound", "resolution": 10, "engine": "simulated",
+     "qa": [5, 6], "deadline_ms": 500, "rng": 0}
+    {"op": "warm",   ...same artifact fields...}
+    {"op": "health", "id": 2}
+    {"op": "stats",  "id": 3}
+
+``run`` performs one discovery run (``qa`` omitted places the hidden
+truth at the session's historical 70% default); ``warm`` builds and
+caches the (space, contours) artifact without running discovery;
+``health`` and ``stats`` are control-plane reads answered even while
+the daemon is draining.
+
+Responses
+---------
+::
+
+    {"id": 1, "ok": true, "result": {...}, "degraded_reasons": [],
+     "coalesced": false, "served": "full", "elapsed_ms": 12.4}
+    {"id": 1, "ok": false, "error": "overloaded",
+     "message": "...", "retry_after_ms": 250}
+
+``served`` names the degradation rung that answered (``full``,
+``cached``, ``lowres``, ``native``); ``degraded_reasons`` accumulates
+every ladder step taken plus the guard's own ``degraded_reason`` when
+the run degraded internally, mirroring ``RunResult.extras``. Overload
+and drain rejections always carry ``retry_after_ms`` -- the client is
+told when to come back instead of being queued unboundedly.
+"""
+
+import json
+
+from repro.common.errors import ReproError
+
+#: Protocol version, echoed by ``health``; clients should refuse to
+#: speak to a daemon with a different major version.
+PROTOCOL_VERSION = 1
+
+#: Operations a request may name.
+OPS = ("run", "warm", "health", "stats")
+
+#: Machine-readable error codes carried on ``error`` responses.
+ERR_BAD_REQUEST = "bad-request"
+ERR_OVERLOADED = "overloaded"
+ERR_DRAINING = "draining"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed or unserviceable request lines."""
+
+
+def encode_message(payload):
+    """One JSON message as a terminated wire line (bytes)."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line):
+    """Parse one wire line into a dict (:class:`ProtocolError` on junk)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", "replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("request is not JSON: %s" % exc) from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    return payload
+
+
+class Request:
+    """A validated request: the daemon's unit of admission.
+
+    ``tenant`` defaults to ``"default"``; ``deadline_ms`` is the
+    client's end-to-end budget for this request (``None`` = the
+    server's ceiling alone applies). Artifact knobs (``query``,
+    ``algorithm``, ``resolution``, ``engine``, ``rng``, ``qa``) follow
+    the session layer's vocabulary exactly.
+    """
+
+    __slots__ = ("op", "id", "tenant", "query", "algorithm",
+                 "resolution", "engine", "qa", "deadline_ms", "rng")
+
+    def __init__(self, op, id=None, tenant="default", query=None,
+                 algorithm="spillbound", resolution=None, engine=None,
+                 qa=None, deadline_ms=None, rng=0):
+        self.op = op
+        self.id = id
+        self.tenant = tenant
+        self.query = query
+        self.algorithm = algorithm
+        self.resolution = resolution
+        self.engine = engine
+        self.qa = qa
+        self.deadline_ms = deadline_ms
+        self.rng = rng
+
+    @classmethod
+    def parse(cls, payload):
+        """Validate a decoded message into a :class:`Request`."""
+        if isinstance(payload, (str, bytes)):
+            payload = decode_message(payload)
+        op = payload.get("op")
+        if op not in OPS:
+            raise ProtocolError(
+                "unknown op %r (expected one of %s)"
+                % (op, ", ".join(OPS)))
+        known = {"op", "id", "tenant", "query", "algorithm",
+                 "resolution", "engine", "qa", "deadline_ms", "rng"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ProtocolError(
+                "unknown request fields %s" % sorted(unknown))
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("tenant must be a non-empty string")
+        query = payload.get("query")
+        if op in ("run", "warm"):
+            if not isinstance(query, str) or not query:
+                raise ProtocolError(
+                    "%r needs a workload name in 'query'" % op)
+        resolution = payload.get("resolution")
+        if resolution is not None:
+            resolution = int(resolution)
+            if resolution < 2:
+                raise ProtocolError("resolution must be >= 2")
+        qa = payload.get("qa")
+        if qa is not None:
+            if not isinstance(qa, (list, tuple)) or \
+                    not all(isinstance(x, int) for x in qa):
+                raise ProtocolError("qa must be a list of grid indices")
+            qa = tuple(qa)
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+            if deadline_ms < 0:
+                raise ProtocolError("deadline_ms must be >= 0")
+        return cls(op=op, id=payload.get("id"), tenant=tenant,
+                   query=query,
+                   algorithm=payload.get("algorithm", "spillbound"),
+                   resolution=resolution,
+                   engine=payload.get("engine"), qa=qa,
+                   deadline_ms=deadline_ms,
+                   rng=int(payload.get("rng", 0)))
+
+    def __repr__(self):
+        return "Request(%s %s/%s res=%s tenant=%s)" % (
+            self.op, self.query, self.algorithm, self.resolution,
+            self.tenant)
+
+
+def ok_response(request_id, result, served="full", degraded_reasons=(),
+                coalesced=False, elapsed_ms=None):
+    """A success payload (not yet encoded)."""
+    payload = {
+        "id": request_id,
+        "ok": True,
+        "served": served,
+        "degraded_reasons": list(degraded_reasons),
+        "coalesced": bool(coalesced),
+        "result": result,
+    }
+    if elapsed_ms is not None:
+        payload["elapsed_ms"] = round(float(elapsed_ms), 3)
+    return payload
+
+
+def error_response(request_id, code, message, retry_after_ms=None):
+    """An error payload; overload/drain errors carry a retry hint."""
+    payload = {
+        "id": request_id,
+        "ok": False,
+        "error": code,
+        "message": message,
+    }
+    if retry_after_ms is not None:
+        payload["retry_after_ms"] = max(0, int(round(retry_after_ms)))
+    return payload

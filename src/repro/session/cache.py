@@ -30,6 +30,7 @@ memory only, attached to their space's cache entry keyed by cost ratio.
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 
 from repro.common.atomicio import FileLock, LockTimeoutError
@@ -172,7 +173,19 @@ class _Entry:
 
 
 class ArtifactCache:
-    """Two-tier (memory LRU + content-addressed disk) artifact store."""
+    """Two-tier (memory LRU + content-addressed disk) artifact store.
+
+    The memory tier is safe for concurrent use from many threads (the
+    serving daemon resolves every tenant's requests against one cache
+    on a thread pool): all LRU bookkeeping -- lookup, move-to-end,
+    insert, eviction, contour attachment, stats -- happens under a
+    single mutex. Builds and disk I/O run *outside* the mutex, so a
+    slow cold build never blocks hits on other keys; two threads
+    racing a cold miss on the same key may both build (the serving
+    layer's request coalescing is what prevents that duplication), but
+    the loser's result is simply discarded in favour of the entry the
+    winner already published -- never a torn LRU.
+    """
 
     #: Trace sink; lookups emit ``cache-hit`` / ``cache-miss`` events
     #: and builds run inside a ``space-build`` span when enabled.
@@ -184,14 +197,34 @@ class ArtifactCache:
         self.cache_dir = cache_dir
         self.memory_slots = memory_slots
         self._entries = OrderedDict()
+        self._mutex = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self):
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def clear(self):
         """Drop the memory tier (disk archives are left in place)."""
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
+
+    def probe(self, key):
+        """Which tier holds ``key`` right now: ``"memory"``, ``"disk"``
+        or ``None`` -- without building, loading or touching LRU order.
+
+        The serving daemon's degradation ladder uses this to decide
+        whether a request can be answered warm (serve the cached
+        artifact) or would pay a cold build it may not have the
+        deadline budget for.
+        """
+        with self._mutex:
+            if key in self._entries:
+                return "memory"
+        if self.cache_dir is not None \
+                and os.path.exists(self._archive_path(key)):
+            return "disk"
+        return None
 
     # ------------------------------------------------------------------
     # space tier
@@ -208,20 +241,30 @@ class ArtifactCache:
     def contours(self, key, query, builder, ratio):
         """The ``(space, contours)`` pair for ``key`` at ``ratio``."""
         entry = self._entry(key, query, builder)
-        contours = entry.contours.get(ratio)
-        if contours is None:
+        with self._mutex:
+            contours = entry.contours.get(ratio)
+            if contours is not None:
+                self.stats.contour_hits += 1
+                return entry.space, contours
             self.stats.contour_builds += 1
-            contours = ContourSet(entry.space, ratio=ratio)
-            entry.contours[ratio] = contours
-        else:
-            self.stats.contour_hits += 1
-        return entry.space, contours
+        # Build outside the mutex (contour construction can take
+        # seconds); a concurrent builder of the same ratio loses the
+        # publish race below and its result is discarded.
+        contours = ContourSet(entry.space, ratio=ratio)
+        with self._mutex:
+            published = entry.contours.setdefault(ratio, contours)
+        return entry.space, published
 
     def _entry(self, key, query, builder):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.stats.memory_hits += 1
-            self._entries.move_to_end(key)
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.memory_hits += 1
+                self._entries.move_to_end(key)
+                hit = True
+            else:
+                hit = False
+        if hit:
             if self.tracer.enabled:
                 self.tracer.event("cache-hit", tier="memory",
                                   key=repr(key))
@@ -229,7 +272,8 @@ class ArtifactCache:
             return entry
         space = self._load_disk(key, query)
         if space is None:
-            self.stats.builds += 1
+            with self._mutex:
+                self.stats.builds += 1
             if self.tracer.enabled:
                 self.tracer.event("cache-miss", key=repr(key))
                 self.tracer.metrics.counter("cache.miss").inc()
@@ -241,10 +285,17 @@ class ArtifactCache:
         elif self.tracer.enabled:
             self.tracer.event("cache-hit", tier="disk", key=repr(key))
             self.tracer.metrics.counter("cache.hit.disk").inc()
-        entry = _Entry(space)
-        self._entries[key] = entry
-        while len(self._entries) > self.memory_slots:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            raced = self._entries.get(key)
+            if raced is not None:
+                # A concurrent builder published first; adopt its entry
+                # so every caller shares one space object.
+                self._entries.move_to_end(key)
+                return raced
+            entry = _Entry(space)
+            self._entries[key] = entry
+            while len(self._entries) > self.memory_slots:
+                self._entries.popitem(last=False)
         return entry
 
     # ------------------------------------------------------------------
@@ -264,9 +315,11 @@ class ArtifactCache:
         except (DiscoveryError, OSError, ValueError, KeyError):
             # Stale, truncated or foreign archive: a miss, never
             # garbage. The rebuild below overwrites it.
-            self.stats.invalidations += 1
+            with self._mutex:
+                self.stats.invalidations += 1
             return None
-        self.stats.disk_hits += 1
+        with self._mutex:
+            self.stats.disk_hits += 1
         return space
 
     def _store_disk(self, key, space):

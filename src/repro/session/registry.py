@@ -23,6 +23,8 @@ New bases/layers register via :func:`register_base` /
 substrates (a network-attached engine, a disk-spill simulator, ...).
 """
 
+import threading
+
 from repro.common.errors import DiscoveryError
 from repro.engine.faulty import FaultPlan, FaultyEngine
 from repro.engine.noisy import NoisyEngine
@@ -260,30 +262,40 @@ class BreakerBoard:
     consecutive :class:`~repro.common.errors.EngineCrashError`\\ s on
     that substrate the breaker opens and later units fast-fail to the
     native fallback instead of burning their full retry budget.
+
+    The board is shared across threads by the serving daemon (every
+    tenant's requests on one substrate feed one breaker), so the
+    breaker map is guarded by a mutex: concurrent first lookups of the
+    same spec resolve to a *single* breaker rather than racing two into
+    existence and splitting the crash streak between them.
     """
 
-    __slots__ = ("threshold", "cooldown", "_breakers")
+    __slots__ = ("threshold", "cooldown", "_breakers", "_mutex")
 
     def __init__(self, threshold=3, cooldown=8):
         self.threshold = threshold
         self.cooldown = cooldown
         self._breakers = {}
+        self._mutex = threading.Lock()
 
     def breaker_for(self, spec):
         """The shared breaker for ``spec`` (created on first use)."""
         from repro.robustness.durable import CircuitBreaker
 
         key = spec.describe() if isinstance(spec, EngineSpec) else str(spec)
-        breaker = self._breakers.get(key)
-        if breaker is None:
-            breaker = CircuitBreaker(threshold=self.threshold,
-                                     cooldown=self.cooldown)
-            self._breakers[key] = breaker
-        return breaker
+        with self._mutex:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(threshold=self.threshold,
+                                         cooldown=self.cooldown)
+                self._breakers[key] = breaker
+            return breaker
 
     def open_count(self):
         """Total times any breaker on the board tripped open."""
-        return sum(b.opened for b in self._breakers.values())
+        with self._mutex:
+            breakers = list(self._breakers.values())
+        return sum(b.opened for b in breakers)
 
     def export(self):
         """``{spec key: breaker stats}`` snapshot (JSON/pickle-safe).
@@ -292,8 +304,9 @@ class BreakerBoard:
         the parent can fold crash-hygiene accounting back into its own
         board with :meth:`absorb`.
         """
-        return {key: breaker.stats()
-                for key, breaker in self._breakers.items()}
+        with self._mutex:
+            items = list(self._breakers.items())
+        return {key: breaker.stats() for key, breaker in items}
 
     def absorb(self, exported):
         """Fold another board's exported stats into this one.

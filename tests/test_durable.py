@@ -26,6 +26,7 @@ from repro.robustness import (
     DiscoveryGuard,
     RetryPolicy,
     SweepJournal,
+    compose_deadlines,
 )
 from repro.session import BreakerBoard, RobustSession, SweepDriver
 
@@ -153,6 +154,85 @@ class TestDeadline:
             Deadline(wall_limit=-1.0)
         with pytest.raises(ValueError):
             Deadline(cost_limit=-1.0)
+
+
+class TestCompositeDeadline:
+    """Nested budgets: client deadline composed with engine/sweep
+    deadlines must enforce the *minimum* remaining budget and name the
+    layer that fired."""
+
+    def test_min_remaining_wall_wins(self):
+        client = Deadline(wall_limit=10.0, clock=lambda: 0.0,
+                          label="client")
+        server = Deadline(wall_limit=3.0, clock=lambda: 0.0,
+                          label="server")
+        composed = compose_deadlines(client, server)
+        assert composed.remaining_wall() == pytest.approx(3.0)
+        assert composed.label == "server"
+
+    def test_firing_layer_is_named(self):
+        client = Deadline(wall_limit=5.0,
+                          clock=_fake_clock([0.0] + [6.0] * 100),
+                          label="client")
+        sweep = Deadline(wall_limit=100.0, clock=lambda: 0.0,
+                         label="sweep")
+        composed = compose_deadlines(client, sweep)
+        assert composed.exceeded() == "wall_clock"
+        with pytest.raises(DeadlineExceededError) as exc:
+            composed.check()
+        assert exc.value.layer == "client"
+        assert exc.value.reason == "wall_clock"
+
+    def test_cost_charge_reaches_every_layer(self):
+        a = Deadline(cost_limit=100.0, clock=lambda: 0.0, label="a")
+        b = Deadline(cost_limit=50.0, clock=lambda: 0.0, label="b")
+        composed = compose_deadlines(a, b)
+        composed.charge(60.0)
+        assert a.spent == 60.0
+        assert b.spent == 60.0
+        assert composed.exceeded() == "cost_budget"
+        with pytest.raises(DeadlineExceededError) as exc:
+            composed.check()
+        assert exc.value.layer == "b"
+        assert composed.remaining_cost() == pytest.approx(0.0)
+
+    def test_compose_elides_none_and_singletons(self):
+        only = Deadline(wall_limit=1.0)
+        assert compose_deadlines(None, None) is None
+        assert compose_deadlines(only, None) is only
+        nested = compose_deadlines(
+            compose_deadlines(Deadline(wall_limit=1.0, label="x"),
+                              Deadline(wall_limit=2.0, label="y")),
+            Deadline(wall_limit=3.0, label="z"))
+        assert len(nested.parts) == 3
+
+    def test_guard_reason_names_the_layer(self, toy_space,
+                                          toy_contours):
+        from repro.algorithms.spillbound import SpillBound
+
+        client = Deadline(wall_limit=10.0,
+                          clock=_fake_clock([0.0] + [11.0] * 1000),
+                          label="client")
+        server = Deadline(wall_limit=10**6, clock=lambda: 0.0,
+                          label="server")
+        guard = DiscoveryGuard(SpillBound(toy_space, toy_contours),
+                               deadline=compose_deadlines(client,
+                                                          server))
+        result = guard.run((3, 7))
+        assert result.extras["degraded"] is True
+        assert result.extras["degraded_reason"] == \
+            "deadline-client-wall_clock"
+
+    def test_unlabeled_guard_reason_is_backwards_compatible(
+            self, toy_space, toy_contours):
+        from repro.algorithms.spillbound import SpillBound
+
+        deadline = Deadline(wall_limit=10.0,
+                            clock=_fake_clock([0.0] + [11.0] * 1000))
+        guard = DiscoveryGuard(SpillBound(toy_space, toy_contours),
+                               deadline=deadline)
+        result = guard.run((3, 7))
+        assert result.extras["degraded_reason"] == "deadline-wall_clock"
 
 
 class TestDeadlineEngine:
