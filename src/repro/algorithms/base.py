@@ -109,6 +109,26 @@ class RunResult:
         )
 
 
+def engine_label(engine):
+    """Execution-substrate label for obs traces.
+
+    Walks the engine wrapper chain (``FaultyEngine.base``,
+    ``DeadlineEngine.engine``) to the first layer that declares a
+    ``backend_name`` -- the IR backend contract's substrate name. A
+    bare ``None`` engine (cost-model table lookup) and simulated-family
+    engines both report ``"simulated"``.
+    """
+    seen = set()
+    while engine is not None and id(engine) not in seen:
+        seen.add(id(engine))
+        name = getattr(engine, "backend_name", None)
+        if name is not None:
+            return name
+        engine = getattr(engine, "base", None) \
+            or getattr(engine, "engine", None)
+    return "simulated"
+
+
 class RobustAlgorithm:
     """Base class: holds the space and provides the engine factory."""
 

@@ -14,7 +14,8 @@ Two MSO notions are provided:
 
 import numpy as np
 
-from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
+from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult, \
+    engine_label
 
 
 class NativeOptimizer(RobustAlgorithm):
@@ -50,7 +51,8 @@ class NativeOptimizer(RobustAlgorithm):
         if self.tracer.enabled:
             if engine is not None:
                 self._attach_tracer(engine)
-            self.tracer.begin_run(self.name, qa_index)
+            self.tracer.begin_run(self.name, qa_index,
+                                   engine=engine_label(engine))
         if engine is not None:
             cost = engine.execute(plan, float("inf")).spent
         else:

@@ -5,7 +5,8 @@ code can treat all execution strategies uniformly and so tests have an
 absolute reference point.
 """
 
-from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
+from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult, \
+    engine_label
 
 
 class Oracle(RobustAlgorithm):
@@ -19,7 +20,8 @@ class Oracle(RobustAlgorithm):
         if self.tracer.enabled:
             if engine is not None:
                 self._attach_tracer(engine)
-            self.tracer.begin_run(self.name, qa_index)
+            self.tracer.begin_run(self.name, qa_index,
+                                   engine=engine_label(engine))
         if engine is not None:
             outcome = engine.execute(plan, float("inf"))
             cost = outcome.spent

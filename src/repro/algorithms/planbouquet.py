@@ -13,7 +13,8 @@ plan cardinality of the densest contour after reduction -- the
 
 import math
 
-from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
+from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult, \
+    engine_label
 from repro.common.errors import DiscoveryError
 from repro.ess.anorexic import anorexic_reduction
 from repro.ess.contours import ContourSet
@@ -70,7 +71,8 @@ class PlanBouquet(RobustAlgorithm):
         tracer = self.tracer
         if tracer.enabled:
             self._attach_tracer(engine)
-            tracer.begin_run(self.name, qa_index)
+            tracer.begin_run(self.name, qa_index,
+                             engine=engine_label(engine))
         factor = self.budget_factor()
         records = []
         start = 0

@@ -19,7 +19,8 @@ import math
 
 import numpy as np
 
-from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult
+from repro.algorithms.base import ExecutionRecord, RobustAlgorithm, RunResult, \
+    engine_label
 from repro.common.errors import DiscoveryError
 from repro.ess.contours import ContourSet
 from repro.obs.metrics import run_metrics
@@ -90,7 +91,8 @@ class SpillBound(RobustAlgorithm):
         engine = engine or self.engine_for(qa_index)
         if self.tracer.enabled:
             self._attach_tracer(engine)
-            self.tracer.begin_run(self.name, qa_index)
+            self.tracer.begin_run(self.name, qa_index,
+                                   engine=engine_label(engine))
         state = _DiscoveryState(self.space, checkpoint, tracer=self.tracer)
         m = len(self.contours)
         i = 0

@@ -97,6 +97,71 @@ def generate_database(catalog, rng=None, skew=None, row_counts=None):
     return database
 
 
+class DatabaseSpec:
+    """Declarative, picklable recipe for a generated database.
+
+    Row-backed engines need actual tuples, but closures over generated
+    arrays cannot cross process boundaries (parallel sweeps) or be
+    described in a config file (CLI, serve). A :class:`DatabaseSpec`
+    carries only the generation *inputs* -- seed, skew map, row-count
+    overrides, global row cap -- and is resolved against a catalog where
+    the rows are needed, memoised per catalog object so repeated builds
+    within one process share the arrays.
+
+    ``max_rows`` caps every table not explicitly listed in
+    ``row_counts``; benchmark catalogs quote warehouse-scale row counts
+    (hundreds of millions) that no one wants to materialise for a
+    discovery run, so the CLI and the serving daemon always set a cap.
+    """
+
+    __slots__ = ("rng", "skew", "row_counts", "max_rows", "_cache")
+
+    def __init__(self, rng=None, skew=None, row_counts=None,
+                 max_rows=None):
+        self.rng = rng
+        self.skew = dict(skew or {})
+        self.row_counts = dict(row_counts or {})
+        self.max_rows = max_rows
+        self._cache = {}
+
+    def resolve(self, catalog):
+        """Generate (or reuse) the database for ``catalog``."""
+        key = id(catalog)
+        if key not in self._cache:
+            row_counts = dict(self.row_counts)
+            if self.max_rows is not None:
+                for table in catalog.tables.values():
+                    row_counts.setdefault(
+                        table.name, min(table.row_count, self.max_rows))
+            self._cache[key] = generate_database(
+                catalog, rng=self.rng, skew=self.skew,
+                row_counts=row_counts)
+        return self._cache[key]
+
+    def _value(self):
+        return (self.rng, tuple(sorted(self.skew.items())),
+                tuple(sorted(self.row_counts.items())), self.max_rows)
+
+    def __eq__(self, other):
+        return (isinstance(other, DatabaseSpec)
+                and self._value() == other._value())
+
+    def __hash__(self):
+        return hash(self._value())
+
+    def __getstate__(self):
+        return (self.rng, self.skew, self.row_counts, self.max_rows)
+
+    def __setstate__(self, state):
+        self.rng, self.skew, self.row_counts, self.max_rows = state
+        self._cache = {}
+
+    def __repr__(self):
+        return "DatabaseSpec(rng=%r, skew=%r, row_counts=%r, " \
+            "max_rows=%r)" % (self.rng, self.skew, self.row_counts,
+                              self.max_rows)
+
+
 def true_join_selectivity(left_values, right_values):
     """Measure the true selectivity of an equi-join between two columns.
 

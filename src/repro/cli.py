@@ -76,6 +76,54 @@ EXPERIMENTS = {
 }
 
 
+def _add_data_arguments(p):
+    """Row-store knobs shared by run/sweep/serve: row-backed engine
+    specs (``row(backend=...)``, ``vectorized``) need actual tuples,
+    generated deterministically from these."""
+    p.add_argument("--data-rng", type=int, default=None, metavar="SEED",
+                   help="generate a row store with this seed for "
+                        "row-backed --engine specs")
+    p.add_argument("--data-skew", default=None, metavar="T.C=Z,...",
+                   help="zipf skew per column, e.g. "
+                        "'fact.f_d1=1.5,d1.k1=1' (implies --data-rng 0)")
+    p.add_argument("--data-rows", type=int, default=20000, metavar="N",
+                   help="cap each generated table at N rows (benchmark "
+                        "catalogs quote warehouse-scale counts)")
+
+
+def _parse_skew(text):
+    """``"t.c=1.5,t.c2=2"`` -> ``{"t.c": 1.5, "t.c2": 2.0}``."""
+    skew = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        column, eq, value = item.partition("=")
+        if not eq or "." not in column:
+            raise SystemExit(
+                "--data-skew expects table.column=zipf pairs, got %r"
+                % item)
+        try:
+            skew[column.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                "--data-skew zipf exponent must be numeric, got %r"
+                % value) from None
+    return skew
+
+
+def _database_spec(args):
+    """The declarative row store implied by --data-rng/--data-skew."""
+    rng = getattr(args, "data_rng", None)
+    skew_text = getattr(args, "data_skew", None)
+    if rng is None and skew_text is None:
+        return None
+    from repro.catalog.datagen import DatabaseSpec
+    return DatabaseSpec(rng=rng or 0,
+                        skew=_parse_skew(skew_text) if skew_text else None,
+                        max_rows=getattr(args, "data_rows", None))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +162,7 @@ def build_parser():
     p.add_argument("--max-retries", type=int, default=3,
                    help="guard retry budget before degrading to the "
                         "native-optimizer path")
+    _add_data_arguments(p)
 
     p = sub.add_parser("sweep", help="exhaustive empirical MSO/ASO")
     p.add_argument("workload")
@@ -162,6 +211,7 @@ def build_parser():
                         "layer; the split is by unit name, so serial, "
                         "parallel and resumed sweeps draw identical "
                         "fault schedules")
+    _add_data_arguments(p)
 
     p = sub.add_parser("trace", help="inspect a recorded discovery trace")
     p.add_argument("action", choices=("show",),
@@ -213,6 +263,7 @@ def build_parser():
                    help="default grid resolution for served artifacts")
     p.add_argument("--engine", default="simulated", metavar="SPEC",
                    help="default execution environment")
+    _add_data_arguments(p)
     p.add_argument("--tenant-rate", type=float, default=16.0,
                    metavar="R", help="per-tenant refill rate "
                    "(requests/second)")
@@ -343,9 +394,11 @@ def main(argv=None):
             qa = tuple(int(x) for x in args.qa.split(","))
         else:
             qa = tuple(int(r * 0.7) for r in space.grid.shape)
+        dbspec = _database_spec(args)
         engine = None
         if args.engine is not None:
-            engine = session.engine(space, qa_index=qa, spec=args.engine)
+            engine = session.engine(space, qa_index=qa, spec=args.engine,
+                                    database=dbspec)
         if args.faults is not None:
             from repro.engine.faulty import FaultPlan
             from repro.robustness import RetryPolicy
@@ -353,10 +406,15 @@ def main(argv=None):
             engine = session.engine(
                 space, qa_index=qa,
                 spec=(args.engine or "simulated") + "+faulty()",
-                plan=plan)
+                plan=plan, database=dbspec)
             algorithm = session.algorithm(
                 algorithm,
                 guard=RetryPolicy(max_retries=args.max_retries))
+        if args.qa is None and engine is not None:
+            # Row-backed engines discover the truth from the generated
+            # data; report the run against that location, not the
+            # midpoint default.
+            qa = tuple(getattr(engine, "qa_index", qa))
         tracer = None
         if args.trace is not None:
             from repro.obs import Tracer
@@ -393,6 +451,9 @@ def main(argv=None):
     if args.command == "sweep":
         query = workload(args.workload)
         space = session.space(query, resolution=args.resolution)
+        dbspec = _database_spec(args)
+        if dbspec is not None:
+            session.database = dbspec
         algorithms = [a.strip() for a in args.algorithms.split(",")
                       if a.strip()]
         durable = (args.journal is not None or args.resume is not None
@@ -492,7 +553,11 @@ def main(argv=None):
         config = ServeConfig(
             path=args.socket, host=args.host, port=args.port,
             cache_dir=args.cache_dir, resolution=args.resolution,
-            engine=args.engine, tenant_capacity=args.tenant_burst,
+            engine=args.engine, data_rng=args.data_rng,
+            data_skew=_parse_skew(args.data_skew)
+            if args.data_skew else None,
+            data_rows=args.data_rows,
+            tenant_capacity=args.tenant_burst,
             tenant_rate=args.tenant_rate,
             max_inflight=args.max_inflight, max_queue=args.max_queue,
             default_deadline_ms=args.default_deadline,

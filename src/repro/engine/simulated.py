@@ -68,6 +68,10 @@ class SpillOutcome:
 class SimulatedEngine:
     """Budgeted/spilled plan execution against a hidden true location."""
 
+    #: Execution substrate name, mirrored from the IR backend contract
+    #: so obs traces can tag every run with where it actually ran.
+    backend_name = "simulated"
+
     #: Trace sink; installed by the running algorithm's
     #: ``_attach_tracer`` so engine layers (fault injection, deadlines)
     #: can emit events into the same stream.

@@ -111,5 +111,17 @@ class SelectivityGrid:
         idx = int(np.searchsorted(self.values[dim], selectivity, side="left"))
         return min(self.shape[dim] - 1, idx)
 
+    def snap_log(self, dim, selectivity):
+        """Grid index along ``dim`` nearest to ``selectivity`` in log space.
+
+        Out-of-range selectivities clamp to the grid endpoints. This is
+        how measured *exact* selectivities (truth discovery, completed
+        spills) land on the grid; :meth:`snap_down` remains the floor
+        for partial lower bounds.
+        """
+        values = self.values[dim]
+        sel = min(max(selectivity, values[0]), values[-1])
+        return int(np.argmin(np.abs(np.log(values) - np.log(sel))))
+
     def __repr__(self):
         return "SelectivityGrid(D=%d, shape=%s)" % (self.dims, self.shape)

@@ -1,6 +1,8 @@
 """Row-level iterator executor with budgets, spilling and monitoring."""
 
-from repro.executor.runtime import CostMeter, RowEngine, RowRunResult
 from repro.executor.rowengine import RowBackedEngine
+from repro.executor.runtime import CostMeter, RowEngine, RowRunResult
+from repro.executor.vectorized import VectorEngine
 
-__all__ = ["CostMeter", "RowEngine", "RowRunResult", "RowBackedEngine"]
+__all__ = ["CostMeter", "RowEngine", "RowRunResult", "RowBackedEngine",
+           "VectorEngine"]

@@ -1,9 +1,11 @@
-"""Row-executor-backed execution environment for discovery algorithms.
+"""Backend-agnostic execution environment for discovery algorithms.
 
 :class:`RowBackedEngine` exposes the same contract as
 :class:`repro.engine.simulated.SimulatedEngine` but performs every
-budgeted execution against *actual rows* through the iterator executor,
-with run-time selectivity monitoring supplying the learning.
+budgeted execution against *actual rows* through an
+:class:`~repro.ir.contracts.IRBackend` -- the tuple-at-a-time
+interpreter, the columnar engine or the sqlite SQL compiler -- with
+run-time selectivity monitoring supplying the learning.
 
 This powers the paper's §6.3 wall-clock experiment: the ESS, contours
 and plan choices come from the cost model, while completion, expenditure
@@ -17,23 +19,37 @@ inflated by a slack factor ``(1 + delta)`` covering the model error, and
 the MSO guarantee inflates by ``(1 + delta)^2``.
 """
 
-import numpy as np
-
-from repro.catalog.datagen import true_join_selectivity
+from repro.catalog.datagen import DatabaseSpec, true_join_selectivity
+from repro.common.errors import ExecutionError
 from repro.engine.simulated import RegularOutcome, SpillOutcome
-from repro.executor.runtime import RowEngine
+from repro.ir.contracts import abort_observation
 
 
 class RowBackedEngine:
-    """Budgeted/spilled executions measured on real tuples."""
+    """Budgeted/spilled executions measured on real tuples.
+
+    The execution substrate is chosen by ``backend`` (a name from
+    :data:`repro.ir.backends.BACKENDS`: ``native``, ``vectorized`` or
+    ``sqlite``) or, for callers that hold a class, ``executor_cls``;
+    passing both is an error. ``database`` may be columnar arrays or a
+    :class:`~repro.catalog.datagen.DatabaseSpec`, resolved against the
+    space's catalog (that is what lets sweeps ship engines to worker
+    processes).
+    """
 
     def __init__(self, space, database, delta=0.5, params=None,
-                 executor_cls=RowEngine):
+                 executor_cls=None, backend=None):
+        from repro.ir.backends import resolve_backend
+
         self.space = space
         self.query = space.query
-        #: ``executor_cls`` selects the backend: the tuple-at-a-time
-        #: :class:`RowEngine` (default, finest budget granularity) or
-        #: the columnar :class:`repro.executor.vectorized.VectorEngine`.
+        if isinstance(database, DatabaseSpec):
+            database = database.resolve(space.query.catalog)
+        if executor_cls is not None and backend is not None:
+            raise ExecutionError(
+                "pass either backend= or executor_cls=, not both")
+        if executor_cls is None:
+            executor_cls = resolve_backend(backend or "native")
         self.row_engine = executor_cls(
             database, space.query, params or space.cost_model.params
         )
@@ -42,6 +58,11 @@ class RowBackedEngine:
         self.delta = delta
         self.qa_index = self._discover_truth()
         self._optimal_cost = None
+
+    @property
+    def backend_name(self):
+        """Substrate name, as recorded in specs and obs traces."""
+        return getattr(self.row_engine, "backend_name", "native")
 
     # ------------------------------------------------------------------
 
@@ -59,10 +80,7 @@ class RowBackedEngine:
             right = self.database[predicate.right_table][
                 predicate.right_column]
             sel = true_join_selectivity(left, right)
-            values = self.space.grid.values[d]
-            sel = min(max(sel, values[0]), values[-1])
-            pos = int(np.argmin(np.abs(np.log(values) - np.log(sel))))
-            index.append(pos)
+            index.append(self.space.grid.snap_log(d, sel))
         return tuple(index)
 
     @property
@@ -95,21 +113,15 @@ class RowBackedEngine:
         )
         monitor = result.monitors.get(node.node_id)
         if result.completed and monitor is not None:
-            sel = monitor.selectivity
-            values = self.space.grid.values[dim]
-            sel = min(max(sel, values[0]), values[-1])
-            learned = int(np.argmin(np.abs(np.log(values) - np.log(sel))))
+            learned = self.space.grid.snap_log(dim, monitor.selectivity)
             return SpillOutcome(True, result.spent, epp, dim, learned)
         # Partial run: the abort-time observations carried by
-        # BudgetExhaustedError (threaded through RowRunResult.observed)
+        # BudgetExhaustedError (threaded through ExecutionResult.observed)
         # give an approximate selectivity lower bound that discovery
         # algorithms receive via ExecutionRecord.learned; contour jumps
         # are still driven by completion.
         learned = -1
-        observation = (result.observed or {}).get(node.node_id)
-        if observation is None and monitor is not None:
-            observation = (monitor.left_rows, monitor.right_rows,
-                           monitor.out_rows)
+        observation = abort_observation(result, node.node_id)
         if observation is not None and observation[2]:
             left_total = max(observation[0], 1)
             right_total = max(observation[1], 1)

@@ -1,121 +1,65 @@
-"""A demand-driven iterator executor over synthetic rows (paper §3.1.1).
+"""A demand-driven iterator backend over synthetic rows (paper §3.1.1).
 
 This is the "intrusive engine change" half of the reproduction: a real
 tuple-at-a-time executor (Volcano-style generators) with the three
 capabilities the paper adds to PostgreSQL:
 
-* **time-limited execution** -- a :class:`CostMeter` charges every
-  operator action with the same constants as the cost model and raises
-  :class:`BudgetExhaustedError` the instant a budget expires;
+* **time-limited execution** -- a :class:`~repro.ir.contracts.CostMeter`
+  charges every operator action with the same constants as the cost
+  model and raises :class:`BudgetExhaustedError` the instant a budget
+  expires;
 * **spill-mode execution** -- the plan is truncated at a chosen node,
   whose output is drained, counted and discarded;
 * **selectivity monitoring** -- every join node reports its input and
   output cardinalities, observed live, so partial executions still yield
   selectivity lower bounds.
 
-Rows are dicts keyed by qualified column names; tables are columnar
-numpy arrays (see :mod:`repro.catalog.datagen`). The executor is meant
-for mini-scale catalogs -- the MSO studies run on the cost-model
-simulator, exactly as the calibration note prescribes.
+The engine is an :class:`~repro.ir.contracts.IRBackend`: plan trees are
+lowered to the relation-algebra IR (:mod:`repro.ir`) and the interpreter
+dispatches on IR operators, so the same trees run unchanged on the
+vectorized and sqlite backends. Rows are dicts keyed by qualified column
+names; tables are columnar numpy arrays (see
+:mod:`repro.catalog.datagen`). The executor is meant for mini-scale
+catalogs -- the MSO studies run on the cost-model simulator, exactly as
+the calibration note prescribes.
 """
 
 import math
 
 from repro.common.errors import BudgetExhaustedError, ExecutionError
 from repro.cost.params import CostParams
-from repro.plans.nodes import (
-    HashJoin,
-    IndexNLJoin,
-    MergeJoin,
-    NestedLoopJoin,
-    SeqScan,
+from repro.ir.contracts import (
+    CostMeter,
+    ExecutionResult,
+    IRBackend,
+    JoinMonitor,
+    snapshot_monitors,
+)
+from repro.ir.lower import lower
+from repro.ir.nodes import (
+    Filter,
+    IndexJoin,
+    IRNode,
+    Join,
+    Project,
+    Scan,
+    SpillTruncate,
 )
 
-
-class CostMeter:
-    """Accumulates cost units and enforces an optional budget.
-
-    ``observer`` optionally supplies the selectivity observations made
-    up to the abort point, so the raised :class:`BudgetExhaustedError`
-    carries them to discovery algorithms (partial executions still teach
-    something).
-    """
-
-    __slots__ = ("spent", "budget", "observer")
-
-    def __init__(self, budget=None, observer=None):
-        self.spent = 0.0
-        self.budget = budget
-        self.observer = observer
-
-    def charge(self, units):
-        self.spent += units
-        if self.budget is not None and self.spent > self.budget:
-            observed = self.observer() if self.observer is not None else {}
-            raise BudgetExhaustedError(
-                "budget %.4g exhausted" % self.budget,
-                observed=observed, spent=self.spent
-            )
+#: Back-compat alias -- the result type now lives in the IR layer.
+RowRunResult = ExecutionResult
 
 
-class JoinMonitor:
-    """Run-time cardinality observations for one join node."""
-
-    __slots__ = ("left_rows", "right_rows", "out_rows", "left_done",
-                 "right_done")
-
-    def __init__(self):
-        self.left_rows = 0
-        self.right_rows = 0
-        self.out_rows = 0
-        self.left_done = False
-        self.right_done = False
-
-    @property
-    def selectivity(self):
-        """Observed join selectivity ``|out| / (|L| * |R|)`` so far.
-
-        A *lower bound* on the true selectivity while inputs are still
-        incomplete only if the denominator uses final input sizes; use
-        :meth:`lower_bound` for that.
-        """
-        denom = self.left_rows * self.right_rows
-        return self.out_rows / denom if denom else 0.0
-
-    def lower_bound(self, left_total, right_total):
-        """Sound lower bound on the true selectivity from a partial run."""
-        denom = float(left_total) * float(right_total)
-        return self.out_rows / denom if denom else 0.0
-
-
-class RowRunResult:
-    """Outcome of one (possibly budget-aborted, possibly spilled) run."""
-
-    __slots__ = ("completed", "row_count", "spent", "monitors", "rows",
-                 "observed")
-
-    def __init__(self, completed, row_count, spent, monitors, rows=None,
-                 observed=None):
-        self.completed = completed
-        self.row_count = row_count
-        self.spent = spent
-        #: ``{node_id: JoinMonitor}`` observations.
-        self.monitors = monitors
-        #: Materialised output rows (only when ``keep_rows`` was set).
-        self.rows = rows
-        #: ``{node_id: (left_rows, right_rows, out_rows)}`` snapshot
-        #: carried by :class:`BudgetExhaustedError` at the abort point
-        #: (``None`` for completed runs).
-        self.observed = observed
-
-
-class RowEngine:
+class RowEngine(IRBackend):
     """Executes finalised plan trees of one query against a database.
 
     ``query`` supplies predicate definitions (plan nodes reference
     predicates by name only); ``database`` maps table names to columnar
-    numpy arrays.
+    numpy arrays. Abort granularity is per tuple: the meter raises the
+    instant a charge crosses the budget.
     """
+
+    backend_name = "native"
 
     def __init__(self, database, query, params=None):
         self.database = database
@@ -130,17 +74,12 @@ class RowEngine:
     def run(self, plan, budget=None, spill_node_id=None, keep_rows=False):
         """Execute ``plan`` (optionally truncated at ``spill_node_id``).
 
-        Returns a :class:`RowRunResult`; a budget abort is reported as
-        ``completed=False`` with the partial monitors preserved.
+        Returns an :class:`ExecutionResult`; a budget abort is reported
+        as ``completed=False`` with the partial monitors preserved.
         """
         monitors = {}
-        meter = CostMeter(budget, observer=lambda: {
-            nid: (m.left_rows, m.right_rows, m.out_rows)
-            for nid, m in monitors.items()
-        })
-        root = plan
-        if spill_node_id is not None:
-            root = _find(plan, spill_node_id)
+        meter = CostMeter(budget, observer=snapshot_monitors(monitors))
+        root = plan if isinstance(plan, IRNode) else lower(plan, spill_node_id)
         out_rows = [] if keep_rows else None
         count = 0
         try:
@@ -148,16 +87,11 @@ class RowEngine:
                 count += 1
                 if keep_rows:
                     out_rows.append(row)
-            return RowRunResult(True, count, meter.spent, monitors, out_rows)
+            return ExecutionResult(True, count, meter.spent, monitors,
+                                   out_rows)
         except BudgetExhaustedError as exc:
-            return RowRunResult(False, count, meter.spent, monitors,
-                                out_rows, observed=exc.observed)
-
-    def true_selectivity(self, plan, node_id):
-        """True selectivity of the join at ``node_id`` (unbudgeted run)."""
-        result = self.run(plan, budget=None, spill_node_id=node_id)
-        monitor = result.monitors[node_id]
-        return monitor.selectivity
+            return ExecutionResult(False, count, meter.spent, monitors,
+                                   out_rows, observed=exc.observed)
 
     def _compile_filter(self, name):
         predicate = self.query.predicate(name)
@@ -175,19 +109,27 @@ class RowEngine:
         return lambda row: row[column] == constant
 
     # ------------------------------------------------------------------
-    # operators (generators)
+    # operators (generators over IR nodes)
 
     def _open(self, node, meter, monitors):
-        if isinstance(node, SeqScan):
+        if isinstance(node, Scan):
             return self._scan(node, meter)
-        if isinstance(node, HashJoin):
-            return self._hash_join(node, meter, monitors)
-        if isinstance(node, MergeJoin):
-            return self._merge_join(node, meter, monitors)
-        if isinstance(node, NestedLoopJoin):
+        if isinstance(node, Join):
+            if node.strategy == "hash":
+                return self._hash_join(node, meter, monitors)
+            if node.strategy == "merge":
+                return self._merge_join(node, meter, monitors)
             return self._nl_join(node, meter, monitors)
-        if isinstance(node, IndexNLJoin):
+        if isinstance(node, IndexJoin):
             return self._index_nl_join(node, meter, monitors)
+        if isinstance(node, Filter):
+            return self._filter(node, meter, monitors)
+        if isinstance(node, Project):
+            return self._project(node, meter, monitors)
+        if isinstance(node, SpillTruncate):
+            # Truncation point: the child's rows flow to run(), which
+            # counts (and, unless keep_rows, discards) them.
+            return self._open(node.child, meter, monitors)
         raise ExecutionError("cannot execute node %r" % type(node).__name__)
 
     def _scan(self, node, meter):
@@ -223,6 +165,29 @@ class RowEngine:
                     yield row
         return generate()
 
+    def _filter(self, node, meter, monitors):
+        filters = [self._compile_filter(name) for name in node.filter_names]
+
+        def generate():
+            for row in self._open(node.child, meter, monitors):
+                ok = True
+                for predicate in filters:
+                    meter.charge(self.params.cpu_operator_cost)
+                    if not predicate(row):
+                        ok = False
+                        break
+                if ok:
+                    yield row
+        return generate()
+
+    def _project(self, node, meter, monitors):
+        columns = node.columns
+
+        def generate():
+            for row in self._open(node.child, meter, monitors):
+                yield {c: row[c] for c in columns}
+        return generate()
+
     def _join_keys(self, node):
         """(left_cols, right_cols) key lists for the node's predicates."""
         left_tables = node.left.tables
@@ -236,7 +201,7 @@ class RowEngine:
         return keys
 
     def _hash_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         keys = self._join_keys(node)
         build_key = [right for _left, right in keys]
 
@@ -263,7 +228,7 @@ class RowEngine:
         return generate()
 
     def _merge_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         keys = self._join_keys(node)
         left_key = [left for left, _right in keys]
         right_key = [right for _left, right in keys]
@@ -326,7 +291,7 @@ class RowEngine:
         constructed once per engine (cached, unmetered -- the index
         already exists), and each probe charges ``index_lookup_cost``.
         """
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         predicate = self.query.predicate(node.primary_predicate)
         outer_qualified = predicate.other_side(node.inner_table)
         index = self._table_index(node.inner_table, node.inner_column)
@@ -369,6 +334,7 @@ class RowEngine:
                         continue
                     meter.charge(self.params.output_cost)
                     yield merged
+            monitor.left_done = True
         return generate()
 
     def _table_index(self, table, column):
@@ -395,7 +361,7 @@ class RowEngine:
         return cache[key]
 
     def _nl_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         keys = self._join_keys(node)
 
         def generate():

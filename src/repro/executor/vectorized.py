@@ -1,16 +1,20 @@
-"""Columnar (numpy) executor: the row executor's fast sibling.
+"""Columnar (numpy) backend: the row executor's fast sibling.
 
-Implements the same physical operators with the same cost algebra as
+Implements the same IR operators with the same cost algebra as
 :class:`repro.executor.runtime.RowEngine`, but processes whole columns
 per operator instead of tuple-at-a-time generators. A completed run
-spends *exactly* the same metered cost as the row engine (the charge
-formulas are identical and deterministic); only budget-abort behaviour
-differs in granularity -- the vector engine checks budgets at operator
-and probe-chunk boundaries rather than per tuple.
+spends the same metered cost as the row engine up to the merge join's
+loop-iteration charge (approximated as ``n_left + n_right``); only
+budget-abort behaviour differs in granularity -- the vector engine
+checks budgets at operator and probe-chunk boundaries rather than per
+tuple.
 
-Intermediates are columnar dicts (qualified column name -> ndarray).
-Equi-join matching uses sort + binary search (``_match_indices``);
-residual predicates filter matched pairs afterwards.
+Like the row engine it is an :class:`~repro.ir.contracts.IRBackend`:
+plan trees are lowered to the relation-algebra IR and evaluation
+dispatches on IR operators. Intermediates are columnar dicts (qualified
+column name -> ndarray). Equi-join matching uses sort + binary search
+(``_match_indices``); residual predicates filter matched pairs
+afterwards.
 """
 
 import math
@@ -19,13 +23,22 @@ import numpy as np
 
 from repro.common.errors import BudgetExhaustedError, ExecutionError
 from repro.cost.params import CostParams
-from repro.executor.runtime import JoinMonitor, RowRunResult
-from repro.plans.nodes import (
-    HashJoin,
-    IndexNLJoin,
-    MergeJoin,
-    NestedLoopJoin,
-    SeqScan,
+from repro.ir.contracts import (
+    CostMeter,
+    ExecutionResult,
+    IRBackend,
+    JoinMonitor,
+    snapshot_monitors,
+)
+from repro.ir.lower import lower
+from repro.ir.nodes import (
+    Filter,
+    IndexJoin,
+    IRNode,
+    Join,
+    Project,
+    Scan,
+    SpillTruncate,
 )
 
 #: Probe-side chunk size between budget checks inside join operators.
@@ -52,27 +65,10 @@ def _match_indices(left_keys, right_keys):
     return li, ri
 
 
-class _Meter:
-    """Budget accounting shared with the row engine's semantics."""
-
-    __slots__ = ("spent", "budget", "observer")
-
-    def __init__(self, budget, observer=None):
-        self.spent = 0.0
-        self.budget = budget
-        self.observer = observer
-
-    def charge(self, units):
-        self.spent += units
-        if self.budget is not None and self.spent > self.budget:
-            observed = self.observer() if self.observer is not None else {}
-            raise BudgetExhaustedError(
-                "budget %.4g exhausted" % self.budget,
-                observed=observed, spent=self.spent)
-
-
-class VectorEngine:
+class VectorEngine(IRBackend):
     """Columnar executor over a numpy database."""
+
+    backend_name = "vectorized"
 
     def __init__(self, database, query, params=None):
         self.database = database
@@ -84,13 +80,8 @@ class VectorEngine:
     def run(self, plan, budget=None, spill_node_id=None, keep_rows=False):
         """Execute ``plan`` (optionally truncated at a spill node)."""
         monitors = {}
-        meter = _Meter(budget, observer=lambda: {
-            nid: (m.left_rows, m.right_rows, m.out_rows)
-            for nid, m in monitors.items()
-        })
-        root = plan
-        if spill_node_id is not None:
-            root = _find(plan, spill_node_id)
+        meter = CostMeter(budget, observer=snapshot_monitors(monitors))
+        root = plan if isinstance(plan, IRNode) else lower(plan, spill_node_id)
         try:
             columns = self._eval(root, meter, monitors)
             count = _batch_len(columns)
@@ -101,30 +92,33 @@ class VectorEngine:
                     {name: columns[name][i] for name in names}
                     for i in range(count)
                 ]
-            return RowRunResult(True, count, meter.spent, monitors, rows)
+            return ExecutionResult(True, count, meter.spent, monitors, rows)
         except BudgetExhaustedError as exc:
-            return RowRunResult(False, 0, meter.spent, monitors, None,
-                                observed=exc.observed)
-
-    def true_selectivity(self, plan, node_id):
-        """True selectivity of the join at ``node_id`` (unbudgeted)."""
-        result = self.run(plan, budget=None, spill_node_id=node_id)
-        return result.monitors[node_id].selectivity
+            return ExecutionResult(False, 0, meter.spent, monitors, None,
+                                   observed=exc.observed)
 
     # ------------------------------------------------------------------
     # operators
 
     def _eval(self, node, meter, monitors):
-        if isinstance(node, SeqScan):
+        if isinstance(node, Scan):
             return self._scan(node, meter)
-        if isinstance(node, HashJoin):
-            return self._hash_join(node, meter, monitors)
-        if isinstance(node, MergeJoin):
-            return self._merge_join(node, meter, monitors)
-        if isinstance(node, NestedLoopJoin):
+        if isinstance(node, Join):
+            if node.strategy == "hash":
+                return self._hash_join(node, meter, monitors)
+            if node.strategy == "merge":
+                return self._merge_join(node, meter, monitors)
             return self._nl_join(node, meter, monitors)
-        if isinstance(node, IndexNLJoin):
+        if isinstance(node, IndexJoin):
             return self._index_join(node, meter, monitors)
+        if isinstance(node, Filter):
+            return self._filter(node, meter, monitors)
+        if isinstance(node, Project):
+            return self._project(node, meter, monitors)
+        if isinstance(node, SpillTruncate):
+            # Truncation point: the child's batch surfaces to run(),
+            # which counts (and, unless keep_rows, discards) it.
+            return self._eval(node.child, meter, monitors)
         raise ExecutionError(
             "cannot execute node %r" % type(node).__name__)
 
@@ -157,6 +151,21 @@ class VectorEngine:
         meter.charge(_batch_len(out) * params.output_cost)
         return out
 
+    def _filter(self, node, meter, monitors):
+        batch = self._eval(node.child, meter, monitors)
+        params = self.params
+        mask = np.ones(_batch_len(batch), dtype=bool)
+        for name in node.filter_names:
+            meter.charge(int(mask.sum()) * params.cpu_operator_cost)
+            predicate = self.query.predicate(name)
+            mask &= _apply_filter(batch[predicate.column],
+                                  predicate.op, predicate.constant)
+        return {name: values[mask] for name, values in batch.items()}
+
+    def _project(self, node, meter, monitors):
+        batch = self._eval(node.child, meter, monitors)
+        return {name: batch[name] for name in node.columns}
+
     def _join_columns(self, node):
         left_tables = node.left.tables
         pairs = []
@@ -181,7 +190,7 @@ class VectorEngine:
         return merged
 
     def _hash_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         params = self.params
         right = self._eval(node.right, meter, monitors)
         n_right = _batch_len(right)
@@ -209,7 +218,7 @@ class VectorEngine:
         return _concat_batches(out_chunks, left, right)
 
     def _merge_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         params = self.params
         left = self._eval(node.left, meter, monitors)
         n_left = _batch_len(left)
@@ -231,7 +240,7 @@ class VectorEngine:
                                 monitor)
 
     def _nl_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         params = self.params
         right = self._eval(node.right, meter, monitors)
         n_right = _batch_len(right)
@@ -259,7 +268,7 @@ class VectorEngine:
         return _concat_batches(out_chunks, left, right)
 
     def _index_join(self, node, meter, monitors):
-        monitor = monitors.setdefault(node.node_id, JoinMonitor())
+        monitor = monitors.setdefault(node.origin_id, JoinMonitor())
         params = self.params
         outer = self._eval(node.outer, meter, monitors)
         n_outer = _batch_len(outer)
@@ -333,16 +342,6 @@ def _slice_batch(columns, chunk):
     return {name: values[chunk] for name, values in columns.items()}
 
 
-def _concat_batches(chunks, left, right):
-    names = list(left) + [n for n in right if n not in left]
-    if not chunks:
-        return {name: np.empty(0, dtype=np.int64) for name in names}
-    return {
-        name: np.concatenate([chunk[name] for chunk in chunks])
-        for name in names
-    }
-
-
 def _apply_filter(values, op, constant):
     if op == "<":
         return values < constant
@@ -353,6 +352,16 @@ def _apply_filter(values, op, constant):
     if op == ">=":
         return values >= constant
     return values == constant
+
+
+def _concat_batches(chunks, left, right):
+    names = list(left) + [n for n in right if n not in left]
+    if not chunks:
+        return {name: np.empty(0, dtype=np.int64) for name in names}
+    return {
+        name: np.concatenate([chunk[name] for chunk in chunks])
+        for name in names
+    }
 
 
 def _find(plan, node_id):

@@ -1,0 +1,36 @@
+"""Backend registry: one name per execution substrate.
+
+``row(backend=...)`` engine specs, the CLI and the serving daemon all
+resolve backends through here. The interpreting backends live in
+:mod:`repro.executor` (they predate the IR and keep their homes); the
+sqlite backend is IR-native.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.executor.runtime import RowEngine
+from repro.executor.vectorized import VectorEngine
+from repro.ir.sqlite_backend import SqliteBackend
+
+#: The tuple-at-a-time interpreter under its IR-layer name.
+NativeIterBackend = RowEngine
+
+#: The columnar interpreter under its IR-layer name.
+VectorBackend = VectorEngine
+
+#: Backend name -> class. All constructors share the signature
+#: ``(database, query, params=None)``.
+BACKENDS = {
+    NativeIterBackend.backend_name: NativeIterBackend,
+    VectorBackend.backend_name: VectorBackend,
+    SqliteBackend.backend_name: SqliteBackend,
+}
+
+
+def resolve_backend(name):
+    """Backend class for ``name``; raises with the known names listed."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ExecutionError(
+            "unknown execution backend %r (expected one of %s)"
+            % (name, ", ".join(sorted(BACKENDS)))) from None

@@ -1,0 +1,68 @@
+"""Lowering: finalised plan trees -> relation-algebra IR.
+
+The rules are small and total over the plan vocabulary:
+
+* ``SeqScan(table, filters)`` -> :class:`~repro.ir.nodes.Scan` with the
+  filters fused (preserving the short-circuit charging contract);
+* ``HashJoin`` / ``MergeJoin`` / ``NestedLoopJoin`` ->
+  :class:`~repro.ir.nodes.Join` with the matching strategy hint;
+* ``IndexNLJoin`` -> :class:`~repro.ir.nodes.IndexJoin`;
+* a ``spill_node_id`` wraps that node's lowered subtree in
+  :class:`~repro.ir.nodes.SpillTruncate` and discards everything above.
+
+Unknown plan nodes raise :class:`~repro.common.errors.ExecutionError`.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.ir.nodes import IndexJoin, Join, Scan, SpillTruncate
+from repro.plans.nodes import (
+    HashJoin,
+    IndexNLJoin,
+    JoinNode,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+)
+
+_STRATEGY = {
+    HashJoin: "hash",
+    MergeJoin: "merge",
+    NestedLoopJoin: "nestloop",
+}
+
+
+def lower(plan, spill_node_id=None):
+    """Lower ``plan`` to IR, optionally truncated at ``spill_node_id``."""
+    root = plan
+    if spill_node_id is not None:
+        root = _find(plan, spill_node_id)
+        return SpillTruncate(_lower(root), origin_id=spill_node_id)
+    return _lower(root)
+
+
+def _lower(node):
+    if isinstance(node, SeqScan):
+        return Scan(node.table, node.filter_names,
+                    origin_id=node.node_id)
+    if isinstance(node, IndexNLJoin):
+        return IndexJoin(
+            _lower(node.outer), node.predicate_names, node.inner_table,
+            node.inner_column, node.inner_filters,
+            origin_id=node.node_id)
+    if isinstance(node, JoinNode):
+        strategy = _STRATEGY.get(type(node))
+        if strategy is None:
+            raise ExecutionError(
+                "cannot lower join node %r" % type(node).__name__)
+        return Join(_lower(node.left), _lower(node.right),
+                    node.predicate_names, strategy,
+                    origin_id=node.node_id)
+    raise ExecutionError(
+        "cannot execute node %r" % type(node).__name__)
+
+
+def _find(plan, node_id):
+    for node in plan.walk():
+        if node.node_id == node_id:
+            return node
+    raise ExecutionError("plan has no node %r" % node_id)

@@ -1,0 +1,210 @@
+"""Relation-algebra IR node types.
+
+IR trees are the backend-facing twin of the optimizer-facing plan trees
+in :mod:`repro.plans.nodes`. A plan tree names a physical strategy per
+operator because the cost model prices strategies; the IR keeps that
+only as a *hint* on one generic equi-join node, which is what lets a
+set-oriented backend (sqlite) execute the same tree a tuple-at-a-time
+interpreter does.
+
+Every node carries an ``origin_id`` -- the ``node_id`` of the plan node
+it was lowered from -- so monitors, spill targets and abort
+observations stay keyed by plan node ids across every backend.
+"""
+
+from repro.common.errors import ExecutionError
+
+#: Physical equi-join strategies a backend must price/execute.
+JOIN_STRATEGIES = ("hash", "merge", "nestloop")
+
+
+class IRNode:
+    """Base class of all IR operators."""
+
+    kind = "ir"
+
+    def __init__(self, children, origin_id=None):
+        self.children = tuple(children)
+        #: ``node_id`` of the plan node this was lowered from (``None``
+        #: for hand-built IR); monitors and spill targets key on it.
+        self.origin_id = origin_id
+
+    def walk(self):
+        """Yield every node in the subtree, post-order."""
+        for child in self.children:
+            for node in child.walk():
+                yield node
+        yield self
+
+    @property
+    def tables(self):
+        """Frozenset of base-relation names under this subtree."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<ir.%s origin=%r>" % (self.kind, self.origin_id)
+
+
+class Scan(IRNode):
+    """Scan a base table, applying ``filter_names`` in order.
+
+    Filters are fused into the scan (not a separate :class:`Filter`
+    node) because the charging contract interleaves them with row
+    production: filter *k* is charged only on rows surviving filters
+    ``1..k-1``.
+    """
+
+    kind = "scan"
+
+    def __init__(self, table, filter_names=(), origin_id=None):
+        super().__init__((), origin_id)
+        self.table = table
+        self.filter_names = tuple(filter_names)
+
+    @property
+    def tables(self):
+        return frozenset((self.table,))
+
+
+class Filter(IRNode):
+    """Standalone filter over an arbitrary input.
+
+    No lowering produces one today (plan scans fuse their filters), but
+    backends must support it so hand-built IR can restrict intermediate
+    results. Charging: ``cpu_operator_cost`` per predicate test with
+    short-circuit semantics, no output charge.
+    """
+
+    kind = "filter"
+
+    def __init__(self, child, filter_names, origin_id=None):
+        super().__init__((child,), origin_id)
+        self.filter_names = tuple(filter_names)
+
+    @property
+    def child(self):
+        return self.children[0]
+
+    @property
+    def tables(self):
+        return self.child.tables
+
+
+class Join(IRNode):
+    """Equi-join with a physical-strategy hint.
+
+    ``strategy`` is one of :data:`JOIN_STRATEGIES`; it binds the cost
+    algebra (and, for interpreting backends, the physical algorithm),
+    never the result. ``predicate_names`` lists every join predicate
+    applied here; the first is the primary equi-join condition.
+    """
+
+    kind = "join"
+
+    def __init__(self, left, right, predicate_names, strategy,
+                 origin_id=None):
+        if strategy not in JOIN_STRATEGIES:
+            raise ExecutionError(
+                "unknown join strategy %r (expected one of %s)"
+                % (strategy, ", ".join(JOIN_STRATEGIES)))
+        if not predicate_names:
+            raise ExecutionError("ir join needs at least one predicate")
+        super().__init__((left, right), origin_id)
+        self.predicate_names = tuple(predicate_names)
+        self.strategy = strategy
+
+    @property
+    def left(self):
+        return self.children[0]
+
+    @property
+    def right(self):
+        return self.children[1]
+
+    @property
+    def primary_predicate(self):
+        return self.predicate_names[0]
+
+    @property
+    def tables(self):
+        return self.left.tables | self.right.tables
+
+
+class IndexJoin(IRNode):
+    """Per-outer-tuple index lookup into a base table (unary node).
+
+    The inner relation is reached only through the equality index on
+    ``inner_column``; ``inner_filters`` apply to fetched rows, residual
+    predicates beyond the primary apply to the joined row. Monitors
+    count *primary-predicate matches* (fetched rows), undiluted by
+    inner filters -- every backend must preserve that.
+    """
+
+    kind = "index_join"
+
+    def __init__(self, outer, predicate_names, inner_table, inner_column,
+                 inner_filters=(), origin_id=None):
+        if not predicate_names:
+            raise ExecutionError(
+                "ir index join needs at least one predicate")
+        super().__init__((outer,), origin_id)
+        self.predicate_names = tuple(predicate_names)
+        self.inner_table = inner_table
+        self.inner_column = inner_column
+        self.inner_filters = tuple(inner_filters)
+
+    @property
+    def outer(self):
+        return self.children[0]
+
+    @property
+    def primary_predicate(self):
+        return self.predicate_names[0]
+
+    @property
+    def tables(self):
+        return self.outer.tables | frozenset((self.inner_table,))
+
+
+class Project(IRNode):
+    """Restrict the output to ``columns`` (qualified names), free of
+    charge -- projection models the paper's count-only result handling,
+    not a priced operator."""
+
+    kind = "project"
+
+    def __init__(self, child, columns, origin_id=None):
+        super().__init__((child,), origin_id)
+        self.columns = tuple(columns)
+
+    @property
+    def child(self):
+        return self.children[0]
+
+    @property
+    def tables(self):
+        return self.child.tables
+
+
+class SpillTruncate(IRNode):
+    """Truncate the plan at this point: drain the child, count and
+    discard its output, execute nothing above it.
+
+    This is spill-mode execution as an IR operation -- lowering a plan
+    with ``spill_node_id`` wraps that node's lowered subtree in one, so
+    every backend implements truncation the same way instead of each
+    re-implementing "find the node and run the subtree".
+    """
+
+    kind = "spill_truncate"
+
+    def __init__(self, child, origin_id=None):
+        super().__init__((child,), origin_id)
+
+    @property
+    def child(self):
+        return self.children[0]
+
+    @property
+    def tables(self):
+        return self.child.tables

@@ -86,7 +86,7 @@ class NullTracer:
     def span(self, name, **fields):
         return _NULL_SPAN
 
-    def begin_run(self, algorithm, qa_index):
+    def begin_run(self, algorithm, qa_index, engine=None):
         return 0
 
     def end_run(self, **fields):
@@ -239,20 +239,25 @@ class Tracer:
     # ------------------------------------------------------------------
     # run bracketing
 
-    def begin_run(self, algorithm, qa_index):
+    def begin_run(self, algorithm, qa_index, engine=None):
         """Mark the start of one discovery run; returns its ordinal.
 
         Every event emitted until the matching :meth:`end_run` carries
         this ordinal in its ``run`` field, which is what lets the
         decomposition reports attribute spend to the run that answered
-        (retried attempts keep their own ordinals).
+        (retried attempts keep their own ordinals). ``engine`` tags the
+        run with its execution substrate
+        (:func:`repro.algorithms.base.engine_label`).
         """
         self.runs += 1
         self._run = self.runs
-        self._emit("run-start", {
+        fields = {
             "algorithm": algorithm,
             "qa_index": [int(i) for i in qa_index],
-        })
+        }
+        if engine is not None:
+            fields["engine"] = engine
+        self._emit("run-start", fields)
         return self._run
 
     def end_run(self, **fields):

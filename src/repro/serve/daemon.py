@@ -78,6 +78,7 @@ class ServeConfig:
 
     __slots__ = (
         "path", "host", "port", "cache_dir", "resolution", "engine",
+        "data_rng", "data_skew", "data_rows",
         "tenant_capacity", "tenant_rate", "max_inflight", "max_queue",
         "retry_cap_s", "default_deadline_ms", "shed_floor_ms",
         "native_floor_ms", "cold_floor_ms", "degraded_resolution",
@@ -87,6 +88,7 @@ class ServeConfig:
 
     def __init__(self, path=None, host="127.0.0.1", port=7451,
                  cache_dir=None, resolution=None, engine="simulated",
+                 data_rng=None, data_skew=None, data_rows=20000,
                  tenant_capacity=32.0, tenant_rate=16.0,
                  max_inflight=None, max_queue=32, retry_cap_s=5.0,
                  default_deadline_ms=30000.0, shed_floor_ms=5.0,
@@ -100,6 +102,12 @@ class ServeConfig:
         self.cache_dir = cache_dir
         self.resolution = resolution
         self.engine = engine
+        #: Declarative row store for row-backed engine specs: the data
+        #: seed and ``table.column -> zipf`` skew map of a
+        #: :class:`~repro.catalog.datagen.DatabaseSpec`.
+        self.data_rng = data_rng
+        self.data_skew = data_skew
+        self.data_rows = data_rows
         self.tenant_capacity = tenant_capacity
         self.tenant_rate = tenant_rate
         if max_inflight is None:
@@ -159,9 +167,18 @@ class RobustServeDaemon:
     def __init__(self, config=None, session=None):
         self.config = config or ServeConfig()
         if session is None:
+            database = None
+            if self.config.data_rng is not None \
+                    or self.config.data_skew:
+                from repro.catalog.datagen import DatabaseSpec
+                database = DatabaseSpec(
+                    rng=self.config.data_rng or 0,
+                    skew=self.config.data_skew,
+                    max_rows=self.config.data_rows)
             session = RobustSession(cache_dir=self.config.cache_dir,
                                     resolution=self.config.resolution,
                                     engine_spec=self.config.engine,
+                                    database=database,
                                     guard=True, breaker=True)
         elif session.breakers is None:
             raise ReproError(

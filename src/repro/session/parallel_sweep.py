@@ -51,6 +51,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 import numpy as np
 
+from repro.catalog.datagen import DatabaseSpec
 from repro.common.errors import DiscoveryError
 from repro.metrics.mso import SweepAccumulator, SweepResult, \
     sample_locations
@@ -83,11 +84,13 @@ def _validate(driver, algorithms):
             "engine_factory closure cannot be shipped to workers "
             "(pass engine_spec= instead)")
     if driver.engine_spec is not None \
-            and driver.engine_spec.base != "simulated":
+            and driver.engine_spec.base != "simulated" \
+            and not isinstance(driver.session.database, DatabaseSpec):
         raise DiscoveryError(
-            "parallel sweeps support simulated-base engine specs only "
-            "(%r needs a database handle, which cannot be shipped to "
-            "workers)" % driver.engine_spec.describe())
+            "parallel sweeps support row-backed engine specs only with "
+            "a declarative database (%r needs rows; give the session a "
+            "DatabaseSpec so workers can regenerate them -- raw arrays "
+            "cannot be shipped)" % driver.engine_spec.describe())
     if driver.reuse_inflight:
         raise DiscoveryError(
             "reuse_inflight composes per-run checkpoints with a single "
@@ -167,7 +170,7 @@ def _init_worker(config):
             resolution=sess["resolution"], mode=sess["mode"],
             s_min=sess["s_min"], rng=sess["rng"], ratio=sess["ratio"],
             engine_spec=sess["engine_spec"], guard=sess["guard"],
-            breaker=board),
+            database=sess.get("database"), breaker=board),
         "breaker": None if config["driver"]["breaker"] is None
         else CircuitBreaker(*config["driver"]["breaker"]),
         "artifacts": dict(_FORK_ARTIFACTS),
@@ -219,8 +222,8 @@ def _worker_unit(unit_index, expired):
         from repro.session.registry import EngineSpec
 
         factory = spec_engine_factory(
-            EngineSpec.parse(driver["engine_spec"]), space, None,
-            driver["fault_seed"], unit["unit"])
+            EngineSpec.parse(driver["engine_spec"]), space,
+            session.database, driver["fault_seed"], unit["unit"])
         _WORKER["factories"][unit_index] = factory
 
     key = (unit_index, expired)
@@ -328,6 +331,10 @@ def _worker_config(driver, pending):
             "ratio": session.ratio,
             "engine_spec": session.engine_spec.describe(),
             "guard": session.guard_policy,
+            # DatabaseSpec is declarative+picklable; raw arrays are not
+            # shipped (validation refuses them for row-backed specs).
+            "database": session.database
+            if isinstance(session.database, DatabaseSpec) else None,
             "board": None if board is None
             else (board.threshold, board.cooldown),
         },

@@ -8,12 +8,17 @@ Execution environments used to be composed by hand at every call site
     simulated+noisy(delta=0.3,seed=13)
     simulated+noisy(delta=0.3)+faulty(crash=0.2,seed=5)
     row(delta=1.0)
+    row(backend=sqlite,delta=0.5)
     vectorized(delta=0.5)
 
 The first segment picks a **base** environment from :data:`BASE_ENGINES`
 (``simulated``, ``row``, ``vectorized``); each further ``+layer(...)``
 segment wraps it with a registered **layer** from :data:`ENGINE_LAYERS`
-(``noisy``, ``faulty``). Specs are plain data: parse once, ``build()``
+(``noisy``, ``faulty``). The ``row`` base selects its execution
+substrate with ``backend=`` (a name from
+:data:`repro.ir.backends.BACKENDS`: ``native``, ``vectorized`` or
+``sqlite``); ``vectorized`` is the fixed-substrate shorthand for
+``row(backend=vectorized)``. Specs are plain data: parse once, ``build()``
 per hidden truth. Fault-free builds are execution-identical to the
 hand-written composition they replace (tested), so the registry is a
 naming layer, not a new semantics.
@@ -67,36 +72,41 @@ def _simulated(space, qa_index, database, **kwargs):
     return SimulatedEngine(space, qa_index)
 
 
-def _row_backed(space, database, executor_cls, **kwargs):
+def _row_backed(space, database, default_backend, **kwargs):
     from repro.executor.rowengine import RowBackedEngine
+    from repro.ir.backends import BACKENDS
 
     if database is None:
         raise DiscoveryError(
             "row-backed engines need a database; pass database= to the "
             "session or the build call")
-    allowed = {"delta"}
+    allowed = {"delta", "backend"}
     unknown = set(kwargs) - allowed
     if unknown:
         raise DiscoveryError(
             "unknown row-engine arguments %s" % sorted(unknown))
-    return RowBackedEngine(space, database,
-                           executor_cls=executor_cls, **kwargs)
+    backend = kwargs.pop("backend", default_backend)
+    if backend not in BACKENDS:
+        raise DiscoveryError(
+            "unknown execution backend %r (registered: %s)"
+            % (backend, ", ".join(sorted(BACKENDS))))
+    return RowBackedEngine(space, database, backend=backend, **kwargs)
 
 
 @register_base("row")
 def _row(space, qa_index, database, **kwargs):
-    from repro.executor.runtime import RowEngine
-
     # qa_index is discovered from the data, not injected; an explicit
     # one is ignored by design (the truth lives in the rows).
-    return _row_backed(space, database, RowEngine, **kwargs)
+    return _row_backed(space, database, "native", **kwargs)
 
 
 @register_base("vectorized")
 def _vectorized(space, qa_index, database, **kwargs):
-    from repro.executor.vectorized import VectorEngine
-
-    return _row_backed(space, database, VectorEngine, **kwargs)
+    if "backend" in kwargs:
+        raise DiscoveryError(
+            "the vectorized base is fixed to its substrate; use "
+            "row(backend=...) to pick one")
+    return _row_backed(space, database, "vectorized", **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -328,6 +338,12 @@ class BreakerBoard:
             len(self._breakers), self.open_count())
 
 
+#: Spec argument keys whose values are symbolic names, not numbers.
+#: Everything else must parse as a float, keeping typos loud
+#: (``noisy(delta=lots)`` stays a parse error).
+_STRING_ARGS = frozenset({"backend"})
+
+
 def _parse_segment(segment):
     """``"name(k=v,k=v)"`` -> ``(name, {k: float(v), ...})``."""
     name, paren, rest = segment.partition("(")
@@ -347,6 +363,9 @@ def _parse_segment(segment):
             if not eq or not key:
                 raise DiscoveryError(
                     "expected key=value in %r, got %r" % (segment, item))
+            if key in _STRING_ARGS:
+                kwargs[key] = value.strip()
+                continue
             try:
                 kwargs[key] = float(value)
             except ValueError:
@@ -356,8 +375,13 @@ def _parse_segment(segment):
     return name, kwargs
 
 
+def _format_value(value):
+    return value if isinstance(value, str) else "%g" % value
+
+
 def _format_segment(name, kwargs):
     if not kwargs:
         return name
-    body = ",".join("%s=%g" % (k, v) for k, v in sorted(kwargs.items()))
+    body = ",".join(
+        "%s=%s" % (k, _format_value(v)) for k, v in sorted(kwargs.items()))
     return "%s(%s)" % (name, body)

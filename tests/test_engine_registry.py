@@ -192,3 +192,68 @@ class TestExecutionIdentical:
         _database, space, _contours = registry_row_setup
         with pytest.raises(DiscoveryError, match="database"):
             EngineSpec.parse("row()").build(space)
+
+
+class TestBackendSpecs:
+    """``row(backend=...)`` vocabulary: parse, round-trip, build."""
+
+    def test_backend_argument_round_trips(self):
+        for text in ("row(backend=sqlite)",
+                     "row(backend=sqlite,delta=1)",
+                     "row(backend=native,delta=0.5)",
+                     "row(backend=vectorized)"):
+            spec = EngineSpec.parse(text)
+            again = EngineSpec.parse(spec.describe())
+            assert again == spec
+            assert "backend=" in spec.describe()
+
+    def test_backend_argument_stays_a_string(self):
+        spec = EngineSpec.parse("row(backend=sqlite,delta=1)")
+        assert spec.base_args == {"backend": "sqlite", "delta": 1.0}
+
+    def test_non_whitelisted_string_values_still_rejected(self):
+        with pytest.raises(DiscoveryError):
+            EngineSpec.parse("row(delta=lots)")
+
+    @pytest.mark.parametrize("backend", ["native", "vectorized", "sqlite"])
+    def test_builds_the_named_backend(self, registry_row_setup, backend):
+        database, space, _contours = registry_row_setup
+        built = EngineSpec.parse("row(backend=%s,delta=1)" % backend).build(
+            space, database=database)
+        assert isinstance(built, RowBackedEngine)
+        assert built.backend_name == backend
+
+    def test_sqlite_spec_is_execution_identical_to_handbuilt(
+            self, registry_row_setup):
+        database, space, contours = registry_row_setup
+        built = EngineSpec.parse("row(backend=sqlite,delta=1)").build(
+            space, database=database)
+        hand = RowBackedEngine(space, database, backend="sqlite",
+                               delta=1.0)
+        assert built.qa_index == hand.qa_index
+        assert run_trace(space, contours, built) == \
+            run_trace(space, contours, hand)
+
+    def test_unknown_backend_rejected(self, registry_row_setup):
+        database, space, _contours = registry_row_setup
+        with pytest.raises(DiscoveryError, match="backend"):
+            EngineSpec.parse("row(backend=duckdb)").build(
+                space, database=database)
+
+    def test_vectorized_base_refuses_backend_argument(
+            self, registry_row_setup):
+        database, space, _contours = registry_row_setup
+        with pytest.raises(DiscoveryError, match="vectorized"):
+            EngineSpec.parse("vectorized(backend=sqlite)").build(
+                space, database=database)
+
+    def test_database_spec_resolves_at_build_time(self, registry_row_setup):
+        from repro.catalog.datagen import DatabaseSpec
+        _database, space, contours = registry_row_setup
+        spec = DatabaseSpec(rng=9, skew={"fact.f_d1": 1.5, "d1.k1": 1.0})
+        built = EngineSpec.parse("row(backend=sqlite,delta=1)").build(
+            space, database=spec)
+        hand = RowBackedEngine(space, spec, backend="sqlite", delta=1.0)
+        assert built.qa_index == hand.qa_index
+        assert run_trace(space, contours, built) == \
+            run_trace(space, contours, hand)

@@ -110,3 +110,32 @@ class TestSnapping:
         assert grid.values[0][lo] <= sel * (1 + 1e-12)
         assert grid.values[0][hi] >= sel * (1 - 1e-12)
         assert hi - lo in (0, 1)
+
+
+class TestSnapLog:
+    """Log-space nearest-point snapping (used by truth discovery and
+    completed-spill learning in the row-backed engine)."""
+
+    def test_grid_points_snap_to_themselves(self):
+        grid = SelectivityGrid(2, 9, s_min=1e-4)
+        for i, value in enumerate(grid.values[1]):
+            assert grid.snap_log(1, value) == i
+
+    def test_snaps_to_log_nearest_not_linear_nearest(self):
+        grid = SelectivityGrid(1, 5, s_min=1e-4)
+        # Just below the geometric midpoint of values[1] and values[2]:
+        # linearly closer to values[1]'s neighbourhood either way, but
+        # the log metric decides.
+        mid = np.sqrt(grid.values[0][1] * grid.values[0][2])
+        assert grid.snap_log(0, mid * 0.99) == 1
+        assert grid.snap_log(0, mid * 1.01) == 2
+
+    def test_clamps_below_the_grid(self):
+        grid = SelectivityGrid(1, 6, s_min=1e-4)
+        assert grid.snap_log(0, 1e-12) == 0
+        assert grid.snap_log(0, 0.0) == 0
+
+    def test_clamps_above_the_grid(self):
+        grid = SelectivityGrid(1, 6, s_min=1e-4)
+        assert grid.snap_log(0, 1.0) == 5
+        assert grid.snap_log(0, 7.5) == 5

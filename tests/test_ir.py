@@ -1,0 +1,324 @@
+"""Unit tests for the relation-algebra IR: nodes, lowering, contracts.
+
+The IR is the backend-facing twin of the plan trees: these tests pin
+down the lowering rules, the node invariants and the cross-cutting
+contracts (cost metering, monitor semantics, abort observations) that
+every backend relies on, independently of any particular substrate.
+Backend-conformance tests over hand-built IR live here too, so a new
+backend failing the shared contract fails loudly and early.
+"""
+
+import numpy as np
+import pytest
+
+from repro.catalog.datagen import generate_database
+from repro.catalog.schema import Catalog, Column, Table
+from repro.common.errors import BudgetExhaustedError, ExecutionError
+from repro.ir import (
+    CostMeter,
+    Filter,
+    IndexJoin,
+    IRBackend,
+    Join,
+    JoinMonitor,
+    Project,
+    Scan,
+    SpillTruncate,
+    abort_observation,
+    lower,
+    snapshot_monitors,
+)
+from repro.ir.backends import BACKENDS, resolve_backend
+from repro.ir.contracts import ExecutionResult
+from repro.plans.nodes import (
+    HashJoin,
+    IndexNLJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    finalize_plan,
+)
+from repro.query.query import Query, make_filter, make_join
+
+
+@pytest.fixture(scope="module")
+def ir_setup():
+    catalog = Catalog("ircat", [
+        Table("fact", 400, [
+            Column("f_id", 400),
+            Column("f_d1", 30),
+            Column("f_val", 20, lo=0, hi=20),
+        ]),
+        Table("d1", 60, [
+            Column("k1", 30),
+            Column("k_val", 10, lo=0, hi=10),
+        ]),
+    ])
+    query = Query(
+        "ir_q", catalog,
+        ["fact", "d1"],
+        [make_join("j1", "fact.f_d1", "d1.k1")],
+        [make_filter("f", "fact.f_val", "<", 10),
+         make_filter("g", "d1.k_val", "<", 6)],
+        epps=("j1",),
+    )
+    database = generate_database(catalog, rng=3,
+                                 skew={"fact.f_d1": 1.2})
+    return query, database
+
+
+def backends(query, database):
+    return [cls(database, query) for cls in BACKENDS.values()]
+
+
+class TestNodes:
+    def test_join_rejects_unknown_strategy(self):
+        with pytest.raises(ExecutionError, match="strategy"):
+            Join(Scan("a"), Scan("b"), ("j",), "quantum")
+
+    def test_join_needs_predicates(self):
+        with pytest.raises(ExecutionError, match="predicate"):
+            Join(Scan("a"), Scan("b"), (), "hash")
+
+    def test_index_join_needs_predicates(self):
+        with pytest.raises(ExecutionError, match="predicate"):
+            IndexJoin(Scan("a"), (), "b", "k")
+
+    def test_tables_union_up_the_tree(self):
+        tree = SpillTruncate(Project(Filter(
+            Join(Scan("a"), Scan("b"), ("j",), "hash"),
+            ("f",)), ("a.x",)))
+        assert tree.tables == frozenset({"a", "b"})
+
+    def test_walk_is_postorder(self):
+        left, right = Scan("a"), Scan("b")
+        join = Join(left, right, ("j",), "merge")
+        assert list(join.walk()) == [left, right, join]
+
+
+class TestLowering:
+    def plan(self):
+        return finalize_plan(HashJoin(
+            SeqScan("fact", ("f",)), SeqScan("d1"), ("j1",)))
+
+    def test_scan_fuses_filters_and_keeps_origin(self):
+        plan = self.plan()
+        root = lower(plan)
+        scan = root.children[0]
+        assert isinstance(scan, Scan)
+        assert scan.table == "fact"
+        assert scan.filter_names == ("f",)
+        assert scan.origin_id == plan.left.node_id
+
+    @pytest.mark.parametrize("cls,strategy", [
+        (HashJoin, "hash"), (MergeJoin, "merge"),
+        (NestedLoopJoin, "nestloop"),
+    ])
+    def test_join_strategy_hints(self, cls, strategy):
+        plan = finalize_plan(cls(SeqScan("fact"), SeqScan("d1"), ("j1",)))
+        root = lower(plan)
+        assert isinstance(root, Join)
+        assert root.strategy == strategy
+        assert root.origin_id == plan.node_id
+
+    def test_index_join_lowering(self):
+        plan = finalize_plan(IndexNLJoin(
+            SeqScan("fact"), ("j1",), "d1", "k1", ("g",)))
+        root = lower(plan)
+        assert isinstance(root, IndexJoin)
+        assert (root.inner_table, root.inner_column) == ("d1", "k1")
+        assert root.inner_filters == ("g",)
+        assert root.origin_id == plan.node_id
+
+    def test_spill_truncates_above_the_node(self):
+        plan = self.plan()
+        scan_id = plan.left.node_id
+        root = lower(plan, spill_node_id=scan_id)
+        assert isinstance(root, SpillTruncate)
+        assert root.origin_id == scan_id
+        assert isinstance(root.child, Scan)
+
+    def test_unknown_spill_node_rejected(self):
+        with pytest.raises(ExecutionError, match="no node"):
+            lower(self.plan(), spill_node_id=999)
+
+
+class TestCostMeter:
+    def test_unbudgeted_accumulates(self):
+        meter = CostMeter()
+        meter.charge(5.0)
+        meter.charge(1e9)
+        assert meter.spent == pytest.approx(5.0 + 1e9)
+
+    def test_raises_only_past_the_budget(self):
+        meter = CostMeter(budget=2.0)
+        meter.charge(2.0)  # exactly at budget: fine
+        with pytest.raises(BudgetExhaustedError) as info:
+            meter.charge(0.5)
+        assert info.value.spent == pytest.approx(2.5)
+
+    def test_observer_payload_rides_the_error(self):
+        meter = CostMeter(budget=1.0, observer=lambda: {4: (1, 2, 3)})
+        with pytest.raises(BudgetExhaustedError) as info:
+            meter.charge(3.0)
+        assert info.value.observed == {4: (1, 2, 3)}
+
+
+class TestJoinMonitor:
+    def test_selectivity_needs_both_done_flags(self):
+        monitor = JoinMonitor()
+        monitor.left_rows = 10
+        monitor.right_rows = 10
+        monitor.out_rows = 5
+        for left, right in ((False, False), (True, False), (False, True)):
+            monitor.left_done, monitor.right_done = left, right
+            with pytest.raises(ExecutionError, match="lower_bound"):
+                monitor.selectivity
+        monitor.left_done = monitor.right_done = True
+        assert monitor.selectivity == pytest.approx(0.05)
+
+    def test_lower_bound_is_the_partial_api(self):
+        monitor = JoinMonitor()
+        monitor.out_rows = 5
+        assert monitor.lower_bound(100, 100) == pytest.approx(5e-4)
+        assert monitor.lower_bound(0, 100) == 0.0
+
+
+class TestAbortObservation:
+    def test_prefers_the_abort_snapshot(self):
+        monitor = JoinMonitor()
+        monitor.left_rows = 99
+        result = ExecutionResult(False, 0, 1.0, {7: monitor},
+                                 observed={7: (1, 2, 3)})
+        assert abort_observation(result, 7) == (1, 2, 3)
+
+    def test_falls_back_to_the_live_monitor(self):
+        monitor = JoinMonitor()
+        monitor.left_rows, monitor.right_rows, monitor.out_rows = 4, 5, 6
+        result = ExecutionResult(False, 0, 1.0, {7: monitor},
+                                 observed=None)
+        assert abort_observation(result, 7) == (4, 5, 6)
+
+    def test_none_when_nothing_was_learnt(self):
+        result = ExecutionResult(False, 0, 1.0, {}, observed=None)
+        assert abort_observation(result, 7) is None
+
+    def test_snapshot_monitors_copies_counters(self):
+        monitor = JoinMonitor()
+        observe = snapshot_monitors({3: monitor})
+        monitor.out_rows = 9
+        assert observe() == {3: (0, 0, 9)}
+
+
+class TestBackendRegistry:
+    def test_all_three_substrates_registered(self):
+        assert set(BACKENDS) == {"native", "vectorized", "sqlite"}
+
+    def test_resolve_unknown_backend(self):
+        with pytest.raises(ExecutionError, match="native"):
+            resolve_backend("postgres")
+
+    def test_protocol_base_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            IRBackend().run(None)
+
+
+class TestBackendConformance:
+    """Every registered backend over the same hand-built IR trees."""
+
+    def test_scan_with_filter(self, ir_setup):
+        query, database = ir_setup
+        expected = int(np.count_nonzero(database["fact"]["f_val"] < 10))
+        for backend in backends(query, database):
+            result = backend.run(Scan("fact", ("f",)))
+            assert result.completed, backend.backend_name
+            assert result.row_count == expected, backend.backend_name
+
+    def test_standalone_filter_node(self, ir_setup):
+        query, database = ir_setup
+        expected = int(np.count_nonzero(database["fact"]["f_val"] < 10))
+        tree = Filter(Scan("fact"), ("f",))
+        for backend in backends(query, database):
+            result = backend.run(tree)
+            assert result.row_count == expected, backend.backend_name
+
+    def test_project_restricts_columns(self, ir_setup):
+        query, database = ir_setup
+        tree = Project(Scan("fact", ("f",)), ("fact.f_id",))
+        for backend in backends(query, database):
+            result = backend.run(tree, keep_rows=True)
+            assert result.rows, backend.backend_name
+            assert all(set(row) == {"fact.f_id"} for row in result.rows)
+
+    @pytest.mark.parametrize("strategy", ["hash", "merge", "nestloop"])
+    def test_join_strategies_agree_with_numpy(self, ir_setup, strategy):
+        query, database = ir_setup
+        left = database["fact"]["f_d1"]
+        right = database["d1"]["k1"]
+        expected = int(sum(
+            np.count_nonzero(left == v) * np.count_nonzero(right == v)
+            for v in np.unique(left)))
+        tree = Join(Scan("fact"), Scan("d1"), ("j1",), strategy,
+                    origin_id=1)
+        for backend in backends(query, database):
+            result = backend.run(tree)
+            name = backend.backend_name
+            assert result.row_count == expected, name
+            monitor = result.monitors[1]
+            assert monitor.out_rows == expected, name
+            assert monitor.left_done and monitor.right_done, name
+            assert monitor.selectivity == pytest.approx(
+                expected / (len(left) * len(right)))
+
+    def test_index_join_monitor_counts_fetched_rows(self, ir_setup):
+        query, database = ir_setup
+        left = database["fact"]["f_d1"]
+        right = database["d1"]["k1"]
+        inner_val = database["d1"]["k_val"]
+        fetched = int(sum(
+            np.count_nonzero(left == v) * np.count_nonzero(right == v)
+            for v in np.unique(left)))
+        emitted = int(sum(
+            np.count_nonzero(left == v)
+            * np.count_nonzero((right == v) & (inner_val < 6))
+            for v in np.unique(left)))
+        tree = IndexJoin(Scan("fact"), ("j1",), "d1", "k1", ("g",),
+                         origin_id=2)
+        for backend in backends(query, database):
+            result = backend.run(tree)
+            name = backend.backend_name
+            assert result.row_count == emitted, name
+            monitor = result.monitors[2]
+            # The contract: primary-predicate matches, undiluted by the
+            # inner filter.
+            assert monitor.out_rows == fetched, name
+            assert monitor.right_rows == len(right), name
+
+    def test_spill_truncate_counts_and_discards(self, ir_setup):
+        query, database = ir_setup
+        join = Join(Scan("fact"), Scan("d1"), ("j1",), "hash",
+                    origin_id=5)
+        tree = SpillTruncate(join, origin_id=5)
+        full = {}
+        for backend in backends(query, database):
+            result = backend.run(tree)
+            full[backend.backend_name] = result.row_count
+            assert result.completed
+        assert len(set(full.values())) == 1, full
+
+    def test_unknown_table_is_an_execution_error(self, ir_setup):
+        query, database = ir_setup
+        for backend in backends(query, database):
+            with pytest.raises(ExecutionError, match="atlantis"):
+                backend.run(Scan("atlantis"))
+
+    def test_true_selectivity_shared_helper(self, ir_setup):
+        query, database = ir_setup
+        plan = finalize_plan(HashJoin(
+            SeqScan("fact"), SeqScan("d1"), ("j1",)))
+        values = {
+            backend.backend_name: backend.true_selectivity(
+                plan, plan.node_id)
+            for backend in backends(query, database)
+        }
+        assert len({round(v, 12) for v in values.values()}) == 1, values

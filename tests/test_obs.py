@@ -370,3 +370,37 @@ class TestTraceReport:
     def test_render_handles_empty_trace(self):
         text = render_trace_report([])
         assert "no completed discovery run" in text
+
+
+class TestEngineTagging:
+    """run-start events carry the execution substrate's name."""
+
+    def test_simulated_runs_are_tagged(self, toy_space, toy_contours):
+        from repro.engine.simulated import SimulatedEngine
+
+        tracer = Tracer()
+        algo = SpillBound(toy_space, toy_contours).set_tracer(tracer)
+        algo.run((8, 8), engine=SimulatedEngine(toy_space, (8, 8)))
+        starts = [r for r in tracer.records if r["type"] == "run-start"]
+        assert starts and all(r["engine"] == "simulated" for r in starts)
+
+    def test_engine_label_walks_wrapper_chains(self, toy_space):
+        from repro.algorithms.base import engine_label
+        from repro.engine.faulty import FaultPlan, FaultyEngine
+        from repro.engine.latency import LatencyEngine
+        from repro.engine.simulated import SimulatedEngine
+
+        assert engine_label(None) == "simulated"
+        base = SimulatedEngine(toy_space, (1, 1))
+        assert engine_label(base) == "simulated"
+        assert engine_label(LatencyEngine(base, ms=0.0)) == "simulated"
+        assert engine_label(FaultyEngine(
+            toy_space, (1, 1), plan=FaultPlan(seed=1))) == "simulated"
+
+        class _Backend:
+            backend_name = "sqlite"
+
+        class _Wrapper:
+            base = _Backend()
+
+        assert engine_label(_Wrapper()) == "sqlite"

@@ -274,3 +274,33 @@ class TestLatencyLayer:
         with pytest.raises(DiscoveryError, match="latency"):
             EngineSpec.parse("simulated+latency(bogus=1)").build(
                 _session().space(QUERY), qa_index=(0, 0))
+
+
+class TestRowBackedParallel:
+    """Row-backed engine specs across process boundaries: workers
+    regenerate the row store from the session's declarative
+    DatabaseSpec (raw arrays are refused)."""
+
+    @staticmethod
+    def _driver(workers):
+        from repro.catalog.datagen import DatabaseSpec
+
+        session = RobustSession(
+            resolution=6,
+            database=DatabaseSpec(rng=11, max_rows=800))
+        return SweepDriver(session, sample=4, rng=2, workers=workers,
+                           engine_spec="row(backend=sqlite,delta=1)")
+
+    def test_sqlite_spec_sweep_is_bit_identical(self):
+        serial = _records(self._driver(None),
+                          algorithms=("spillbound",))
+        parallel = _records(self._driver(2),
+                            algorithms=("spillbound",))
+        _assert_identical(serial, parallel)
+
+    def test_raw_arrays_are_refused_with_workers(self):
+        session = RobustSession(resolution=6)
+        session.database = {"store_sales": {}}  # raw, unpicklable intent
+        driver = SweepDriver(session, workers=2, engine_spec="row()")
+        with pytest.raises(DiscoveryError, match="DatabaseSpec"):
+            _records(driver, algorithms=("spillbound",))

@@ -155,3 +155,75 @@ class TestObservedThreading:
             spill_node_id=node.node_id)
         assert not partial.completed
         assert partial.observed is not None
+
+
+class TestBackendSelection:
+    def test_backend_and_executor_cls_are_exclusive(self, row_setup):
+        from repro.common.errors import ExecutionError
+        from repro.executor.vectorized import VectorEngine
+
+        _query, database, space = row_setup
+        with pytest.raises(ExecutionError, match="not both"):
+            RowBackedEngine(space, database, backend="sqlite",
+                            executor_cls=VectorEngine)
+
+    def test_backend_name_reflects_the_substrate(self, row_setup):
+        _query, database, space = row_setup
+        assert RowBackedEngine(space, database).backend_name == "native"
+        assert RowBackedEngine(
+            space, database, backend="sqlite").backend_name == "sqlite"
+
+    def test_sqlite_backend_discovers_the_same_truth(self, row_setup):
+        _query, database, space = row_setup
+        native = RowBackedEngine(space, database)
+        sqlite = RowBackedEngine(space, database, backend="sqlite")
+        assert sqlite.qa_index == native.qa_index
+
+
+class TestMonitorContract:
+    def test_index_join_completion_sets_left_done(self, row_setup):
+        """Regression: the index join's outer side used to finish
+        without flipping ``left_done``, making completed-run
+        selectivities unreadable under the done-flag guard."""
+        from repro.plans.nodes import IndexNLJoin, SeqScan, finalize_plan
+
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database)
+        plan = finalize_plan(
+            IndexNLJoin(SeqScan("fact"), ("j1",), "d1", "k1"))
+        result = engine.row_engine.run(plan, budget=None)
+        monitor = result.monitors[plan.node_id]
+        assert monitor.left_done and monitor.right_done
+        assert monitor.selectivity > 0
+
+    def test_partial_spill_uses_monitor_when_snapshot_missing(
+            self, row_setup):
+        """Regression for the ``observed is None and monitor is not
+        None`` fallback: a backend reporting live monitors but no abort
+        snapshot must still teach a selectivity bound."""
+        from repro.ir.contracts import ExecutionResult, JoinMonitor
+
+        _query, database, space = row_setup
+        engine = RowBackedEngine(space, database, delta=0.0)
+        plan = space.optimal_plan((0,) * space.grid.dims)
+        target = plan.spill_target(set(space.query.epps))
+        assert target is not None
+        epp, node = target
+
+        monitor = JoinMonitor()
+        monitor.left_rows, monitor.right_rows = 50, 40
+        monitor.out_rows = 20
+
+        class _StubBackend:
+            def run(self, tree, budget=None, spill_node_id=None,
+                    keep_rows=False):
+                return ExecutionResult(
+                    False, 0, budget, {node.node_id: monitor},
+                    observed=None)
+
+        engine.row_engine = _StubBackend()
+        outcome = engine.execute_spill(plan, epp, node, budget=10.0)
+        assert not outcome.completed
+        dim = space.query.epp_index(epp)
+        expected = space.grid.snap_down(dim, 20 / (50.0 * 40.0))
+        assert outcome.learned_index == expected
