@@ -1,0 +1,163 @@
+"""Serving availability under seeded wire chaos.
+
+Drives a live in-process daemon at several fault rates (the same
+seeded :class:`~repro.serve.faults.ServeFaultPlan` vocabulary the chaos
+harness uses) with concurrent *resilient* clients, and reports, per
+rate: availability (fraction of requests that completed), client p50 /
+p99 latency, and the mean attempts the resilient loop needed. The
+fault-free row doubles as the control: availability 1.0 in exactly one
+attempt.
+
+Emits ``results/BENCH_serve_chaos.json``.
+"""
+
+import json
+import os
+import threading
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServeFaultPlan,
+    ServerThread,
+)
+
+QUERY = "2D_Q91"
+RESOLUTION = 8
+CLIENTS = 8
+PER_CLIENT = 6
+
+#: Per-frame total fault probability per regime, split across kinds.
+FAULT_RATES = (0.0, 0.1, 0.25)
+
+
+def _plan(rate, seed=0):
+    if not rate:
+        return None
+    return ServeFaultPlan(drop_rate=rate / 2, garbage_rate=rate / 4,
+                          truncate_rate=rate / 4, seed=seed)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(path):
+    """CLIENTS resilient clients, PER_CLIENT requests each."""
+    completed = []
+    failed = []
+    latencies = []
+    attempts = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    def worker(c):
+        with ServeClient(path=path, timeout=60.0, raise_errors=False,
+                         retries=8, retry_deadline_s=30.0) as client:
+            barrier.wait(30)
+            for j in range(PER_CLIENT):
+                payload = {"op": "run", "query": QUERY,
+                           "resolution": RESOLUTION,
+                           "tenant": "chaos-%d" % c,
+                           "id": "c%d-r%d" % (c, j),
+                           "qa": [(c + j) % RESOLUTION,
+                                  (2 * c + j) % RESOLUTION],
+                           "rng": 0}
+                start = time.perf_counter()
+                try:
+                    response = client.call(payload)
+                except Exception as exc:
+                    with lock:
+                        failed.append(repr(exc))
+                    continue
+                elapsed = (time.perf_counter() - start) * 1e3
+                with lock:
+                    if response.get("ok"):
+                        completed.append(response)
+                        latencies.append(elapsed)
+                        attempts.append(client.last_attempts)
+                    else:
+                        failed.append("%s: %s"
+                                      % (response.get("error"),
+                                         response.get("message")))
+
+    threads = [threading.Thread(target=worker, args=(c,))
+               for c in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    return completed, failed, latencies, attempts
+
+
+def test_serve_chaos_availability(tmp_path):
+    payload = {"query": QUERY, "resolution": RESOLUTION,
+               "clients": CLIENTS, "per_client": PER_CLIENT,
+               "rates": {}}
+    reference = {}
+    for rate in FAULT_RATES:
+        sock = str(tmp_path / ("chaos-%g.sock" % rate))
+        config = ServeConfig(path=sock, fault_plan=_plan(rate),
+                             cache_dir=str(tmp_path / "cache"),
+                             tenant_capacity=1000.0,
+                             tenant_rate=1000.0,
+                             default_deadline_ms=120000.0)
+        with ServerThread(config=config) as server:
+            # Warm the artifact so latencies measure the fault layer,
+            # not a one-off space build.
+            with ServeClient(path=sock, timeout=120.0, retries=8) as c:
+                c.warm(QUERY, resolution=RESOLUTION, rng=0)
+            completed, failed, latencies, attempts = _drive(sock)
+            injected = None
+            if server.daemon._fault_injector is not None:
+                injected = server.daemon._fault_injector.snapshot()
+
+        total = CLIENTS * PER_CLIENT
+        availability = len(completed) / total
+        row = {
+            "fault_plan": _plan(rate).describe() if rate else "clean",
+            "completed": len(completed),
+            "failed": len(failed),
+            "availability": round(availability, 4),
+            "p50_ms": round(_percentile(latencies, 0.50), 3),
+            "p99_ms": round(_percentile(latencies, 0.99), 3),
+            "mean_attempts": round(sum(attempts) / len(attempts), 3),
+            "injected": injected["injected"] if injected else None,
+        }
+        payload["rates"][str(rate)] = row
+
+        # Retrying clients must ride out every fault at these rates.
+        assert availability == 1.0, failed[:5]
+        answers = {r["id"]: r["result"]["sub_optimality"]
+                   for r in completed}
+        if rate == 0.0:
+            reference = answers
+            assert row["mean_attempts"] == 1.0
+        else:
+            # Faults shift latency, never answers.
+            assert answers == reference
+            assert row["mean_attempts"] >= 1.0
+            assert sum(injected["injected"][k]
+                       for k in ("drop", "truncate", "garbage")) > 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve_chaos.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = ["serve chaos bench (%s res %d, %d clients x %d):"
+             % (QUERY, RESOLUTION, CLIENTS, PER_CLIENT)]
+    for rate in FAULT_RATES:
+        row = payload["rates"][str(rate)]
+        lines.append(
+            "  rate=%-5g availability %.3f | p50 %.1fms p99 %.1fms | "
+            "mean attempts %.2f"
+            % (rate, row["availability"], row["p50_ms"], row["p99_ms"],
+               row["mean_attempts"]))
+    print("\n" + "\n".join(lines))

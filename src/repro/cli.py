@@ -281,6 +281,16 @@ def build_parser():
     p.add_argument("--drain-grace", type=float, default=10.0,
                    metavar="S",
                    help="seconds to wait for in-flight work on SIGTERM")
+    p.add_argument("--max-line-bytes", type=int, default=None,
+                   metavar="N",
+                   help="per-line byte cap on the wire protocol "
+                        "(default: 128 KiB)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="seeded wire chaos on the reply path: a drop "
+                        "rate or knobs drop=,truncate=,garbage=,slow=,"
+                        "slow_ms= (e.g. 'drop=0.1,garbage=0.05')")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="seed of the wire-chaos schedule")
 
     return parser
 
@@ -549,7 +559,16 @@ def main(argv=None):
     if args.command == "serve":
         import asyncio
 
-        from repro.serve import RobustServeDaemon, ServeConfig
+        from repro.serve import (
+            MAX_LINE_BYTES,
+            RobustServeDaemon,
+            ServeConfig,
+            ServeFaultPlan,
+        )
+        fault_plan = None
+        if args.faults:
+            fault_plan = ServeFaultPlan.parse(args.faults,
+                                              seed=args.fault_seed)
         config = ServeConfig(
             path=args.socket, host=args.host, port=args.port,
             cache_dir=args.cache_dir, resolution=args.resolution,
@@ -561,7 +580,10 @@ def main(argv=None):
             tenant_rate=args.tenant_rate,
             max_inflight=args.max_inflight, max_queue=args.max_queue,
             default_deadline_ms=args.default_deadline,
-            drain_grace_s=args.drain_grace)
+            drain_grace_s=args.drain_grace,
+            max_line_bytes=args.max_line_bytes
+            if args.max_line_bytes else MAX_LINE_BYTES,
+            fault_plan=fault_plan)
         daemon = RobustServeDaemon(config=config)
 
         async def _serve():

@@ -1,6 +1,8 @@
 """Shared infrastructure: errors, deterministic RNG helpers, reporting."""
 
+from repro.common.backoff import Backoff, BackoffPolicy
 from repro.common.errors import (
+    BackendUnavailableError,
     BudgetExhaustedError,
     CatalogError,
     OptimizerError,
@@ -11,6 +13,9 @@ from repro.common.rng import make_rng
 from repro.common.reporting import Report, format_table
 
 __all__ = [
+    "Backoff",
+    "BackoffPolicy",
+    "BackendUnavailableError",
     "ReproError",
     "CatalogError",
     "QueryError",

@@ -1,0 +1,132 @@
+"""Shared retry backoff: decorrelated jitter, capped, deadline-aware.
+
+Every retry loop in the repo (the serve client, the chaos harnesses,
+ad-hoc polling in tools) needs the same three properties:
+
+* **decorrelated jitter** -- the classic AWS-style schedule where each
+  delay is drawn uniformly from ``[base, previous * multiplier]`` and
+  clipped to ``cap``. Retries spread out instead of synchronising into
+  thundering herds, while still growing geometrically in expectation.
+* **hint awareness** -- a server that answered with an explicit
+  ``retry_after`` (the daemon's ``retry_after_ms``) knows better than
+  the client's schedule; the hint becomes a lower bound on the next
+  delay (still clipped to ``cap``, so a hostile hint cannot park the
+  client forever).
+* **deadline awareness** -- a retry loop under a wall budget must never
+  sleep past it: the last delay is clamped to the remaining budget and
+  an exhausted budget yields ``None`` ("stop retrying") instead of a
+  sleep.
+
+Draws come from a private ``random.Random`` seeded per
+:meth:`BackoffPolicy.start`, so tests get exactly reproducible
+schedules and concurrent retry loops sharing one policy get
+*different* (but individually deterministic) schedules.
+"""
+
+import threading
+import time
+
+
+class BackoffPolicy:
+    """Immutable description of a retry schedule.
+
+    ``start()`` mints independent :class:`Backoff` states; the policy
+    itself is safe to share across threads.
+    """
+
+    __slots__ = ("base", "cap", "multiplier", "seed", "_mint_lock",
+                 "_minted")
+
+    def __init__(self, base=0.05, cap=2.0, multiplier=3.0, seed=0):
+        if base <= 0:
+            raise ValueError("base delay must be > 0, got %r" % (base,))
+        if cap < base:
+            raise ValueError("cap %r is below the base delay %r"
+                             % (cap, base))
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1, got %r"
+                             % (multiplier,))
+        self.base = float(base)
+        self.cap = float(cap)
+        self.multiplier = float(multiplier)
+        self.seed = int(seed)
+        self._mint_lock = threading.Lock()
+        self._minted = 0
+
+    def start(self, deadline_s=None, clock=None, stream=None):
+        """A fresh retry state under an optional wall budget.
+
+        ``deadline_s`` is the total seconds this retry loop may spend
+        (measured from now); ``stream`` pins the jitter stream (two
+        states with the same ``(seed, stream)`` draw identical
+        schedules -- omitted, each ``start()`` gets the next stream).
+        """
+        if stream is None:
+            with self._mint_lock:
+                stream = self._minted
+                self._minted += 1
+        return Backoff(self, deadline_s=deadline_s, clock=clock,
+                       stream=stream)
+
+    def __repr__(self):
+        return "BackoffPolicy(base=%g, cap=%g, multiplier=%g, seed=%d)" % (
+            self.base, self.cap, self.multiplier, self.seed)
+
+
+class Backoff:
+    """One retry loop's mutable state. Not thread-safe (one per loop)."""
+
+    __slots__ = ("policy", "attempts", "_rng", "_previous", "_clock",
+                 "_started", "_deadline_s")
+
+    def __init__(self, policy, deadline_s=None, clock=None, stream=0):
+        import random
+
+        self.policy = policy
+        self.attempts = 0
+        # A distinct integer per (seed, stream) pair; random.Random
+        # only accepts scalar seeds.
+        self._rng = random.Random(policy.seed * 0x1FFFFFFFFFFFFF
+                                  + int(stream))
+        self._previous = policy.base
+        self._clock = clock or time.monotonic
+        self._started = self._clock()
+        self._deadline_s = None if deadline_s is None else float(deadline_s)
+
+    def remaining(self):
+        """Seconds left in the wall budget (``None`` = unbounded)."""
+        if self._deadline_s is None:
+            return None
+        return self._deadline_s - (self._clock() - self._started)
+
+    def next_delay(self, retry_after=None):
+        """The next sleep in seconds, or ``None`` when the budget is out.
+
+        ``retry_after`` (seconds) is a server hint: the returned delay
+        is at least ``min(retry_after, cap)``.
+        """
+        policy = self.policy
+        self.attempts += 1
+        high = max(policy.base, self._previous * policy.multiplier)
+        delay = min(policy.cap, self._rng.uniform(policy.base, high))
+        self._previous = max(delay, policy.base)
+        if retry_after is not None and retry_after > 0:
+            delay = max(delay, min(float(retry_after), policy.cap))
+        remaining = self.remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                return None
+            delay = min(delay, remaining)
+        return delay
+
+    def sleep(self, retry_after=None, sleeper=time.sleep):
+        """Sleep the next delay; ``False`` means "budget out, stop"."""
+        delay = self.next_delay(retry_after=retry_after)
+        if delay is None:
+            return False
+        sleeper(delay)
+        return True
+
+    def __repr__(self):
+        return "Backoff(%d attempts, previous=%.3gs)" % (
+            self.attempts, self._previous)

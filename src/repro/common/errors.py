@@ -44,6 +44,27 @@ class BudgetExhaustedError(ExecutionError):
         self.spent = spent
 
 
+class BackendUnavailableError(ExecutionError):
+    """Raised when an execution *backend* (the substrate behind a
+    row-backed engine: sqlite, the vectorized engine, a future remote
+    store) is down or misbehaving in a way retries on the same backend
+    will not fix.
+
+    Deliberately **not** a :class:`TransientEngineError` or
+    :class:`EngineCrashError`: the graceful-degradation guard retries
+    those on the *same* substrate, which is exactly wrong for a dead
+    backend. This error propagates past the guard so the serving
+    daemon's failover ladder can rerun the request on the ``native``
+    backend (and feed the per-backend circuit breaker) instead of
+    burning the retry budget against a corpse.
+    """
+
+    def __init__(self, message, backend=None):
+        super().__init__(message)
+        #: Name of the backend that failed (``sqlite``, ``vectorized``...).
+        self.backend = backend
+
+
 class DiscoveryError(ReproError):
     """Raised when a discovery algorithm reaches an inconsistent state."""
 

@@ -38,7 +38,7 @@ class RowBackedEngine:
     """
 
     def __init__(self, space, database, delta=0.5, params=None,
-                 executor_cls=None, backend=None):
+                 executor_cls=None, backend=None, fail=0.0, fail_seed=0):
         from repro.ir.backends import resolve_backend
 
         self.space = space
@@ -53,6 +53,16 @@ class RowBackedEngine:
         self.row_engine = executor_cls(
             database, space.query, params or space.cost_model.params
         )
+        if fail:
+            # Seeded backend outages (``row(backend=sqlite,fail=0.3)``):
+            # the substrate itself goes away, which is what the serving
+            # daemon's failover ladder recovers from.
+            from repro.ir.faults import BackendFaultPlan, FaultyBackend
+
+            self.row_engine = FaultyBackend(
+                self.row_engine,
+                BackendFaultPlan(fail_rate=float(fail),
+                                 seed=int(fail_seed)))
         self.database = database
         #: Cost-model error allowance; every budget is scaled by (1+delta).
         self.delta = delta

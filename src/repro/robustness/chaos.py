@@ -1,4 +1,15 @@
-"""Chaos harness: SIGKILL a real sweep, resume it, prove nothing broke.
+"""Chaos harnesses: SIGKILL real subprocesses, prove nothing broke.
+
+Two harnesses live here. :func:`run_chaos` (PR 3) kills a journaled
+sweep and proves bit-identical recovery from the write-ahead log.
+:func:`run_serve_chaos` (this file's second half) does the same to the
+*serving daemon*: a real ``python -m repro serve`` subprocess is
+SIGKILLed and restarted at seeded progress points -- optionally under
+seeded wire chaos (``--faults``) -- while concurrent retrying clients
+keep issuing requests; every completed request's result must be
+bit-identical to a fault-free run's (warm artifacts resume from the
+shared disk cache across restarts), and no daemon process may outlive
+the harness.
 
 The durability claims of :mod:`repro.robustness.durable` are only worth
 making if they survive an *actual* ``kill -9`` -- not a simulated
@@ -30,7 +41,7 @@ import time
 
 import numpy as np
 
-from repro.common.errors import JournalError
+from repro.common.errors import JournalError, ReproError
 from repro.robustness.durable import SweepJournal
 
 #: Seconds the harness waits for a child to reach its kill point (or
@@ -216,3 +227,326 @@ def run_chaos(journal_dir, workload="2D_Q91", resolution=10, sample=16,
     return ChaosOutcome(delivered, launches, kill_records,
                         journal_grids(journal_dir),
                         verify_single_execution(journal_dir))
+
+
+# ----------------------------------------------------------------------
+# serve chaos: SIGKILL/restart the daemon under concurrent faulty clients
+
+
+#: Wall budget (seconds) each chaos client gets to complete one request
+#: across daemon kills, restarts and injected wire faults.
+CLIENT_DEADLINE = 90.0
+
+
+def serve_command(socket_path, cache_dir, resolution=6,
+                  engine="simulated", faults=None, fault_seed=0,
+                  max_queue=64, deadline_ms=60000.0):
+    """The ``python -m repro serve`` argv for one chaos daemon."""
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", socket_path,
+        "--cache-dir", cache_dir,
+        "--resolution", str(resolution),
+        "--engine", engine,
+        "--max-queue", str(max_queue),
+        "--default-deadline", str(deadline_ms),
+        "--drain-grace", "5",
+    ]
+    if faults:
+        cmd += ["--faults", faults, "--fault-seed", str(fault_seed)]
+    return cmd
+
+
+def serve_chaos_requests(clients=8, per_client=4, resolution=6,
+                         query="2D_Q91", algorithm="spillbound",
+                         engine=None):
+    """Per-client request payloads, deterministic and all distinct.
+
+    Every payload carries an explicit unique ``id`` (so retried sends
+    are idempotent and the fault-free comparison can key on it) and a
+    per-client tenant; the hidden truth ``qa`` varies per request so
+    the answers exercise many grid locations.
+    """
+    workloads = []
+    for c in range(clients):
+        payloads = []
+        for j in range(per_client):
+            payload = {
+                "op": "run",
+                "id": "c%d-r%d" % (c, j),
+                "tenant": "tenant-%d" % c,
+                "query": query,
+                "algorithm": algorithm,
+                "resolution": resolution,
+                "qa": [(c + j) % resolution,
+                       (3 + 2 * c + j) % resolution],
+                "rng": 0,
+            }
+            if engine:
+                payload["engine"] = engine
+            payloads.append(payload)
+        workloads.append(payloads)
+    return workloads
+
+
+class ServeChaosOutcome:
+    """What one serve-chaos run did and left behind."""
+
+    __slots__ = ("kills", "launches", "results", "errors", "orphans",
+                 "kill_progress")
+
+    def __init__(self, kills, launches, results, errors, orphans,
+                 kill_progress):
+        #: SIGKILLs actually delivered to the daemon.
+        self.kills = kills
+        #: Daemon processes started (kills + the final survivor).
+        self.launches = launches
+        #: ``{request id: result dict}`` for every completed request.
+        self.results = results
+        #: ``{request id: description}`` for requests that never
+        #: completed (must be empty for the availability proof).
+        self.errors = errors
+        #: PIDs of daemon processes still alive at the end (must be
+        #: empty -- the no-orphans obligation).
+        self.orphans = orphans
+        #: Completed-request count observed at each kill.
+        self.kill_progress = kill_progress
+
+    def __repr__(self):
+        return ("ServeChaosOutcome(%d kills at progress %s, "
+                "%d completed, %d failed, %d orphans)"
+                % (self.kills, self.kill_progress, len(self.results),
+                   len(self.errors), len(self.orphans)))
+
+
+def _launch_serve(socket_path, cache_dir, resolution, engine, faults,
+                  fault_seed):
+    # A SIGKILLed daemon never unlinks its socket; clear the stale
+    # file so the replacement can bind.
+    try:
+        os.unlink(socket_path)
+    except OSError:
+        pass
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_path(), env.get("PYTHONPATH")) if p)
+    return subprocess.Popen(
+        serve_command(socket_path, cache_dir, resolution=resolution,
+                      engine=engine, faults=faults,
+                      fault_seed=fault_seed),
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def wait_serving(socket_path, timeout=WAIT_TIMEOUT):
+    """Block until a daemon answers ``health`` on ``socket_path``."""
+    from repro.serve import ServeClient
+
+    start = time.monotonic()
+    while time.monotonic() - start < timeout:
+        try:
+            with ServeClient(path=socket_path, timeout=5.0) as client:
+                client.health()
+                return
+        except (ReproError, OSError):
+            time.sleep(0.05)
+    raise RuntimeError("no daemon served %s within %gs"
+                       % (socket_path, timeout))
+
+
+def _serve_chaos_client(socket_path, payloads, results, errors,
+                        completed, seed):
+    """One chaos client thread: complete every payload, whatever it takes.
+
+    Each payload is pushed through :meth:`ServeClient.call` (stable id,
+    reconnects, jittered backoff honouring ``retry_after_ms``); a dead
+    daemon (connection refused while restarting) is ridden out by an
+    outer decorrelated-jitter loop under :data:`CLIENT_DEADLINE`.
+    """
+    from repro.common.backoff import BackoffPolicy
+    from repro.serve import ServeClient
+
+    policy = BackoffPolicy(base=0.05, cap=1.0, seed=seed)
+    for payload in payloads:
+        state = policy.start(deadline_s=CLIENT_DEADLINE)
+        last = None
+        while True:
+            try:
+                with ServeClient(path=socket_path, timeout=20.0,
+                                 raise_errors=False, retries=6,
+                                 retry_deadline_s=30.0) as client:
+                    response = client.call(dict(payload))
+            except (ReproError, OSError) as exc:
+                last = repr(exc)
+            else:
+                if response.get("ok"):
+                    results[payload["id"]] = response["result"]
+                    completed.append(payload["id"])
+                    break
+                last = "%s: %s" % (response.get("error"),
+                                   response.get("message"))
+            if not state.sleep():
+                errors[payload["id"]] = last or "request never answered"
+                break
+
+
+def run_serve_chaos(workdir, clients=8, per_client=4, kills=3, seed=0,
+                    resolution=6, query="2D_Q91",
+                    algorithm="spillbound",
+                    engine="simulated+latency(ms=15)", faults=None,
+                    fault_seed=0):
+    """SIGKILL/restart a real serving daemon under concurrent clients.
+
+    Launches ``python -m repro serve`` on a unix socket in ``workdir``
+    with an on-disk artifact cache, starts ``clients`` concurrent
+    retrying client threads working through
+    :func:`serve_chaos_requests`, and SIGKILLs the daemon each time the
+    fleet's completed-request count has advanced by a seeded amount
+    (1-3, drawn from ``default_rng(seed)``) since the last restart --
+    so every kill lands after real progress. Each kill is followed by
+    an immediate relaunch against the *same* cache dir: warm artifacts
+    resume from disk, which is what makes the post-restart answers
+    cheap and, more importantly, provably identical. ``faults`` adds
+    seeded wire chaos inside the daemon on top of the crashes.
+
+    After the clients finish, the surviving daemon is drained with
+    SIGTERM and every launched process reaped; the returned
+    :class:`ServeChaosOutcome` carries the per-request results (for the
+    bit-identical comparison against a fault-free run), the requests
+    that failed outright, and any orphaned PIDs.
+    """
+    import threading
+
+    chaos_rng = np.random.default_rng(seed)
+    socket_path = os.path.join(workdir, "serve.sock")
+    cache_dir = os.path.join(workdir, "cache")
+    os.makedirs(cache_dir, exist_ok=True)
+    workloads = serve_chaos_requests(clients=clients,
+                                     per_client=per_client,
+                                     resolution=resolution, query=query,
+                                     algorithm=algorithm, engine=engine)
+    total = sum(len(w) for w in workloads)
+    procs = []
+
+    def launch():
+        proc = _launch_serve(socket_path, cache_dir, resolution, engine,
+                             faults, fault_seed)
+        procs.append(proc)
+        return proc
+
+    proc = launch()
+    wait_serving(socket_path)
+    results = {}
+    errors = {}
+    completed = []  # list appends are atomic; len() is the progress
+    threads = [
+        threading.Thread(
+            target=_serve_chaos_client,
+            args=(socket_path, payloads, results, errors, completed,
+                  seed * 1000 + i),
+            name="serve-chaos-client-%d" % i)
+        for i, payloads in enumerate(workloads)
+    ]
+    for thread in threads:
+        thread.start()
+    delivered = 0
+    kill_progress = []
+    try:
+        while delivered < kills:
+            target = len(completed) + int(chaos_rng.integers(1, 4))
+            start = time.monotonic()
+            while len(completed) < target \
+                    and len(completed) + len(errors) < total:
+                if time.monotonic() - start > WAIT_TIMEOUT:
+                    raise RuntimeError(
+                        "serve chaos stalled at %d/%d completions"
+                        % (len(completed), total))
+                time.sleep(POLL)
+            if len(completed) + len(errors) >= total:
+                break  # fleet finished before the next kill point
+            kill_progress.append(len(completed))
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait()
+            delivered += 1
+            proc = launch()
+    finally:
+        for thread in threads:
+            thread.join(WAIT_TIMEOUT)
+        # Drain the survivor; SIGKILL stragglers rather than leak them.
+        for p in procs:
+            if p.poll() is None:
+                p.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 30.0
+        for p in procs:
+            if p.poll() is None:
+                try:
+                    p.wait(timeout=max(0.1, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    p.kill()
+                    p.wait()
+    orphans = [p.pid for p in procs if p.poll() is None]
+    try:
+        os.unlink(socket_path)
+    except OSError:
+        pass
+    return ServeChaosOutcome(delivered, len(procs), results, errors,
+                             orphans, kill_progress)
+
+
+def serve_baseline(requests, resolution=6,
+                   engine="simulated+latency(ms=15)", cache_dir=None):
+    """Fault-free reference answers for :func:`run_serve_chaos`.
+
+    Serves the same payloads from an in-process daemon with no faults
+    and no kills; the chaos run's completed results must equal these
+    bit-for-bit (the simulated substrate is deterministic, and
+    ``latency(...)`` only spends wall time).
+    """
+    from repro.serve import ServeClient, ServeConfig, ServerThread
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="serve-baseline-") as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        config = ServeConfig(path=socket_path,
+                             cache_dir=cache_dir or
+                             os.path.join(tmp, "cache"),
+                             resolution=resolution, engine=engine,
+                             max_queue=64, default_deadline_ms=60000.0)
+        reference = {}
+        with ServerThread(config=config):
+            with ServeClient(path=socket_path, timeout=60.0) as client:
+                for payloads in requests:
+                    for payload in payloads:
+                        response = client.request(dict(payload))
+                        if not response.get("ok"):
+                            raise RuntimeError(
+                                "baseline refused %r: %r"
+                                % (payload["id"], response))
+                        reference[payload["id"]] = response["result"]
+        return reference
+
+
+def verify_serve_results(results, reference):
+    """Bit-identity violations between chaos and fault-free results.
+
+    Returns a list of human-readable problems (empty = proof holds).
+    Every completed chaos request must have a reference answer equal
+    in every field -- costs compare with ``==``, not a tolerance.
+    """
+    problems = []
+    for request_id, result in sorted(results.items()):
+        expected = reference.get(request_id)
+        if expected is None:
+            problems.append("request %r has no reference answer"
+                            % request_id)
+            continue
+        for field in sorted(set(expected) | set(result)):
+            if field in ("degraded_reason", "failover", "degraded",
+                         "retries", "wasted_cost"):
+                continue  # adversity accounting legitimately differs
+            if result.get(field) != expected.get(field):
+                problems.append(
+                    "request %r field %r: chaos %r != fault-free %r"
+                    % (request_id, field, result.get(field),
+                       expected.get(field)))
+    return problems

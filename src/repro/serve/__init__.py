@@ -2,9 +2,11 @@
 
 ``repro serve`` exposes one warm :class:`~repro.session.RobustSession`
 to many tenants over line-delimited JSON, with per-tenant admission
-control, request coalescing, a graceful degradation ladder and layered
-deadline propagation. See :mod:`repro.serve.daemon` for the
-architecture and ``docs/serving.md`` for the protocol.
+control, request coalescing, a graceful degradation ladder, layered
+deadline propagation, and a seeded wire-chaos layer
+(:mod:`repro.serve.faults`) for availability proofs. See
+:mod:`repro.serve.daemon` for the architecture and ``docs/serving.md``
+for the protocol and failure model.
 """
 
 from repro.serve.admission import (
@@ -16,12 +18,21 @@ from repro.serve.admission import (
 from repro.serve.coalesce import CoalesceStats, Coalescer
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import RobustServeDaemon, ServeConfig, ServerThread
+from repro.serve.faults import (
+    ChaosProxy,
+    ChaosProxyThread,
+    FaultInjector,
+    ServeFaultPlan,
+)
 from repro.serve.protocol import (
     ERR_BAD_REQUEST,
     ERR_DRAINING,
     ERR_INTERNAL,
     ERR_OVERLOADED,
+    ERR_OVERSIZED,
+    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    FrameAssembler,
     ProtocolError,
     Request,
     decode_message,
@@ -33,12 +44,18 @@ from repro.serve.protocol import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ChaosProxy",
+    "ChaosProxyThread",
     "CoalesceStats",
     "Coalescer",
     "ERR_BAD_REQUEST",
     "ERR_DRAINING",
     "ERR_INTERNAL",
     "ERR_OVERLOADED",
+    "ERR_OVERSIZED",
+    "FaultInjector",
+    "FrameAssembler",
+    "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Request",
@@ -46,6 +63,7 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "ServeError",
+    "ServeFaultPlan",
     "ServerThread",
     "TenantBudgets",
     "TokenBucket",

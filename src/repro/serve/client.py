@@ -6,13 +6,49 @@ request, one line back. The client is deliberately synchronous --
 concurrency in the test harnesses comes from threads, which also makes
 the daemon's event loop face realistic socket interleaving.
 
+Resilience (all opt-in, off by default so the raw wire behaviour stays
+observable in tests):
+
+* ``retries=N`` retries transport failures (connection refused/reset,
+  torn or garbage replies) and ``overloaded``/``draining`` refusals up
+  to N times, sleeping a decorrelated-jitter backoff
+  (:class:`repro.common.backoff.BackoffPolicy`) that honours the
+  daemon's ``retry_after_ms`` hints; ``retry_deadline_s`` bounds the
+  whole retry loop's wall time.
+* Re-sends are **idempotent by request id**: the id is assigned once
+  and reused across retries, and because the daemon coalesces by
+  content fingerprint, a retry arriving after a mid-coalesce leader
+  crash simply joins the re-dispatched computation instead of forking
+  a second one.
+* Any transport anomaly (a reply that is not JSON, a reply for a
+  different id left over from an abandoned exchange) poisons the
+  connection; the client reconnects before re-sending rather than
+  trying to resynchronise a corrupted byte stream.
+* ``hedge_ms=M`` enables hedged requests: if no answer lands within M
+  milliseconds, a duplicate (same id, hence coalesced server-side) is
+  fired on a second connection and the first answer wins.
+* Frames above ``max_line_bytes`` are refused locally on send and
+  distrusted on receive, mirroring the daemon's cap.
+
 Not thread-safe: use one client per thread (connections are cheap).
 """
 
 import socket
+import time
 
+from repro.common.backoff import BackoffPolicy
 from repro.common.errors import ReproError
-from repro.serve.protocol import decode_message, encode_message
+from repro.serve.protocol import (
+    ERR_DRAINING,
+    ERR_OVERLOADED,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+#: Error codes the resilient path treats as retryable refusals.
+RETRYABLE_CODES = (ERR_OVERLOADED, ERR_DRAINING)
 
 
 class ServeError(ReproError):
@@ -35,24 +71,52 @@ class ServeClient:
     """Line-JSON client for :class:`~repro.serve.daemon.RobustServeDaemon`."""
 
     def __init__(self, path=None, host="127.0.0.1", port=7451,
-                 timeout=30.0, raise_errors=True):
+                 timeout=30.0, raise_errors=True, retries=0,
+                 backoff=None, retry_deadline_s=None, hedge_ms=None,
+                 max_line_bytes=MAX_LINE_BYTES):
         self.raise_errors = raise_errors
-        if path:
-            self._sock = socket.socket(socket.AF_UNIX,
-                                       socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(path)
-        else:
-            self._sock = socket.create_connection((host, port),
-                                                  timeout=timeout)
-        self._recv = self._sock.makefile("rb")
+        self.retries = int(retries)
+        self.backoff = backoff or BackoffPolicy(base=0.02, cap=1.0)
+        self.retry_deadline_s = retry_deadline_s
+        self.hedge_ms = hedge_ms
+        self.max_line_bytes = int(max_line_bytes)
+        #: Attempts the last resilient call took (1 = first try).
+        self.last_attempts = 0
+        self._path = path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._sock = None
+        self._recv = None
+        self._broken = False
         self._seq = 0
+        self._connect()
+
+    def _connect(self):
+        self._teardown()
+        if self._path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._path)
+        else:
+            sock = socket.create_connection((self._host, self._port),
+                                            timeout=self._timeout)
+        self._sock = sock
+        self._recv = sock.makefile("rb")
+        self._broken = False
+
+    def _teardown(self):
+        for closer in (self._recv, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._recv = None
+        self._sock = None
 
     def close(self):
-        try:
-            self._recv.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self):
         return self
@@ -61,20 +125,161 @@ class ServeClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # raw exchange
+
+    def _read_response(self):
+        """One reply line under the byte cap, decoded."""
+        line = self._recv.readline(self.max_line_bytes + 1)
+        if not line:
+            raise ReproError("daemon closed the connection")
+        if not line.endswith(b"\n"):
+            if len(line) > self.max_line_bytes:
+                raise ProtocolError(
+                    "reply exceeds the %d-byte line cap"
+                    % self.max_line_bytes)
+            raise ReproError("daemon sent a torn reply frame")
+        return decode_message(line)
 
     def request(self, payload):
-        """Send one request dict, return the raw response dict."""
+        """Send one request dict, return the raw response dict.
+
+        The single-shot primitive: no retries, no id matching -- the
+        next line on the wire is the answer. Resilience lives in
+        :meth:`call` and the convenience wrappers.
+        """
         if "id" not in payload:
             self._seq += 1
             payload = dict(payload, id=self._seq)
-        self._sock.sendall(encode_message(payload))
-        line = self._recv.readline()
-        if not line:
-            raise ReproError("daemon closed the connection")
-        return decode_message(line)
+        data = encode_message(payload)
+        if len(data) > self.max_line_bytes:
+            raise ProtocolError(
+                "request of %d bytes exceeds the %d-byte line cap"
+                % (len(data), self.max_line_bytes))
+        self._sock.sendall(data)
+        return self._read_response()
+
+    # ------------------------------------------------------------------
+    # resilient exchange
+
+    def _exchange(self, payload, data):
+        """Send (reconnecting a broken socket first) and read until the
+        reply for *this* request id arrives; other lines -- replies the
+        daemon sent to injected garbage, leftovers from an abandoned
+        exchange -- are skipped."""
+        if self._broken or self._sock is None:
+            self._connect()
+        self._sock.sendall(data)
+        want = payload["id"]
+        while True:
+            response = self._read_response()
+            if response.get("id") == want:
+                return response
+
+    def call(self, payload):
+        """One request with the client's full resilience posture.
+
+        Assigns a stable id, then retries transport failures and
+        retryable refusals up to ``retries`` times under
+        ``retry_deadline_s``, reconnecting on any transport anomaly.
+        Returns the final response dict (possibly an error response
+        when retries ran out on a refusal); raises the last transport
+        error when the connection never yielded an answer.
+        """
+        if "id" not in payload:
+            self._seq += 1
+            payload = dict(payload, id=self._seq)
+        data = encode_message(payload)
+        if len(data) > self.max_line_bytes:
+            raise ProtocolError(
+                "request of %d bytes exceeds the %d-byte line cap"
+                % (len(data), self.max_line_bytes))
+        state = self.backoff.start(deadline_s=self.retry_deadline_s)
+        attempt = 0
+        while True:
+            attempt += 1
+            self.last_attempts = attempt
+            failure = None
+            retry_after = None
+            try:
+                response = self._exchange(payload, data)
+            except (ReproError, OSError) as exc:
+                # Connection-level damage: refused, reset, torn or
+                # garbage frames. The byte stream can no longer be
+                # trusted; reconnect before the re-send.
+                failure = exc
+                self._broken = True
+            else:
+                if response.get("ok") \
+                        or response.get("error") not in RETRYABLE_CODES:
+                    return response
+                hint = response.get("retry_after_ms")
+                retry_after = hint / 1e3 if hint else None
+            if attempt > self.retries:
+                if failure is not None:
+                    raise failure
+                return response
+            delay = state.next_delay(retry_after=retry_after)
+            if delay is None:  # retry deadline exhausted
+                if failure is not None:
+                    raise failure
+                return response
+            time.sleep(delay)
+
+    def _hedged(self, payload):
+        """Fire the request; duplicate it after ``hedge_ms`` of silence.
+
+        Both attempts share the request id, so the daemon coalesces
+        them into one computation; the first answer wins and the loser
+        is abandoned (its daemon-side work was shared anyway).
+        """
+        import queue
+        import threading
+
+        if "id" not in payload:
+            self._seq += 1
+            payload = dict(payload, id=self._seq)
+        answers = queue.Queue()
+
+        def attempt():
+            try:
+                with ServeClient(
+                        path=self._path, host=self._host,
+                        port=self._port, timeout=self._timeout,
+                        raise_errors=False, retries=self.retries,
+                        backoff=self.backoff,
+                        retry_deadline_s=self.retry_deadline_s,
+                        max_line_bytes=self.max_line_bytes) as peer:
+                    answers.put((None, peer.call(dict(payload))))
+            except Exception as exc:
+                answers.put((exc, None))
+
+        fired = 1
+        threading.Thread(target=attempt, daemon=True).start()
+        try:
+            failure, response = answers.get(
+                timeout=self.hedge_ms / 1e3)
+        except queue.Empty:
+            fired += 1
+            threading.Thread(target=attempt, daemon=True).start()
+            failure, response = answers.get()
+        while failure is not None and fired > 1:
+            # The first finisher failed; wait for the other attempt.
+            fired -= 1
+            failure, response = answers.get()
+        if failure is not None:
+            raise failure
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
 
     def _call(self, payload):
-        response = self.request(payload)
+        if self.hedge_ms is not None:
+            response = self._hedged(payload)
+        elif self.retries > 0 or self.retry_deadline_s is not None:
+            response = self.call(payload)
+        else:
+            response = self.request(payload)
         if self.raise_errors and not response.get("ok"):
             raise ServeError(response)
         return response

@@ -43,18 +43,22 @@ import os
 import signal
 import time
 
-from repro.common.errors import ReproError
+from repro.common.errors import BackendUnavailableError, ReproError
 from repro.ess.space import default_resolution
 from repro.obs.metrics import MetricsRegistry
 from repro.robustness import Deadline, compose_deadlines
 from repro.serve.admission import AdmissionController, TenantBudgets
 from repro.serve.coalesce import Coalescer
+from repro.serve.faults import FaultInjector, garbage_line
 from repro.serve.protocol import (
     ERR_BAD_REQUEST,
     ERR_DRAINING,
     ERR_INTERNAL,
     ERR_OVERLOADED,
+    ERR_OVERSIZED,
+    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    FrameAssembler,
     ProtocolError,
     Request,
     encode_message,
@@ -83,7 +87,8 @@ class ServeConfig:
         "retry_cap_s", "default_deadline_ms", "shed_floor_ms",
         "native_floor_ms", "cold_floor_ms", "degraded_resolution",
         "pressure_lowres", "pressure_native", "drain_grace_s",
-        "coalesce_redispatch", "clock",
+        "coalesce_redispatch", "max_line_bytes", "fault_plan",
+        "backend_failover", "clock",
     )
 
     def __init__(self, path=None, host="127.0.0.1", port=7451,
@@ -95,7 +100,8 @@ class ServeConfig:
                  native_floor_ms=50.0, cold_floor_ms=400.0,
                  degraded_resolution=6, pressure_lowres=0.6,
                  pressure_native=0.9, drain_grace_s=10.0,
-                 coalesce_redispatch=1, clock=None):
+                 coalesce_redispatch=1, max_line_bytes=MAX_LINE_BYTES,
+                 fault_plan=None, backend_failover=True, clock=None):
         self.path = path
         self.host = host
         self.port = port
@@ -124,6 +130,13 @@ class ServeConfig:
         self.pressure_native = pressure_native
         self.drain_grace_s = drain_grace_s
         self.coalesce_redispatch = coalesce_redispatch
+        self.max_line_bytes = int(max_line_bytes)
+        #: Optional :class:`~repro.serve.faults.ServeFaultPlan` applied
+        #: in-process to the daemon's reply path (seeded wire chaos).
+        self.fault_plan = fault_plan
+        #: Rerun on the ``native`` backend when a non-native backend is
+        #: unavailable (per-backend circuit breakers fast-fail repeats).
+        self.backend_failover = backend_failover
         self.clock = clock or time.monotonic
 
     def describe(self):
@@ -196,6 +209,9 @@ class RobustServeDaemon:
             retry_cap=self.config.retry_cap_s)
         self.coalescer = Coalescer(
             redispatch=self.config.coalesce_redispatch)
+        plan = self.config.fault_plan
+        self._fault_injector = FaultInjector(plan) \
+            if plan is not None and not plan.is_clean else None
         self.draining = False
         self.started_at = None
         self.bound_to = None
@@ -300,14 +316,34 @@ class RobustServeDaemon:
 
     async def _handle_connection(self, reader, writer):
         self._writers.add(writer)
+        assembler = FrameAssembler(self.config.max_line_bytes)
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
+            alive = True
+            while alive:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    # EOF. A partial frame still buffered is a torn
+                    # write -- the peer died mid-frame; there is
+                    # nothing to answer and nothing to poison (the
+                    # assembler dies with the connection).
+                    if assembler.pending:
+                        self.metrics.counter(
+                            "serve.errors.torn_frame").inc()
                     break
-                response = await self._handle_line(line)
-                writer.write(encode_message(response))
-                await writer.drain()
+                for kind, payload in assembler.feed(chunk):
+                    if kind == "oversized":
+                        self.metrics.counter(
+                            "serve.errors.oversized").inc()
+                        response = error_response(
+                            None, ERR_OVERSIZED,
+                            "request line of %d bytes exceeds the "
+                            "%d-byte cap" % (payload,
+                                             self.config.max_line_bytes))
+                    else:
+                        response = await self._handle_line(payload)
+                    alive = await self._send(writer, response)
+                    if not alive:
+                        break
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.IncompleteReadError):
             pass
@@ -317,6 +353,38 @@ class RobustServeDaemon:
                 writer.close()
             except Exception:
                 pass
+
+    async def _send(self, writer, response):
+        """Write one reply through the fault layer.
+
+        Returns ``False`` when an injected fault killed the connection
+        (drop, or a truncated -- torn -- write); the caller then stops
+        serving this socket, exactly as if the network had failed.
+        """
+        data = encode_message(response)
+        decision = self._fault_injector.next_fault() \
+            if self._fault_injector is not None else None
+        fault = decision["fault"] if decision else None
+        if fault:
+            self.metrics.counter("serve.faults.%s" % fault).inc()
+        if fault == "slow":
+            await asyncio.sleep(decision["delay_ms"] / 1e3)
+            fault = None
+        if fault == "drop":
+            return False
+        if fault == "truncate":
+            keep = max(1, int(len(data) * decision["keep_fraction"]))
+            writer.write(data[:keep])
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return False
+        if fault == "garbage":
+            writer.write(garbage_line(decision))
+        writer.write(data)
+        await writer.drain()
+        return True
 
     async def _handle_line(self, line):
         t0 = self.config.clock()
@@ -555,6 +623,7 @@ class RobustServeDaemon:
                     "deadline expired while waiting for computation",
                     retry_after_ms=self.admission.service_ema * 1e3)
             reasons = list(plan.reasons)
+            reasons.extend((result or {}).get("failover") or ())
             guard_reason = (result or {}).get("degraded_reason")
             if guard_reason:
                 reasons.append(guard_reason)
@@ -570,6 +639,28 @@ class RobustServeDaemon:
                 self.admission.promote()
             self.admission.release(self.config.clock() - t0)
 
+    @staticmethod
+    def _requested_backend(spec):
+        """The IR backend a spec executes on (``None`` for simulated)."""
+        if spec.base == "row":
+            return spec.base_args.get("backend", "native")
+        if spec.base == "vectorized":
+            return "vectorized"
+        return None
+
+    @staticmethod
+    def _native_failover_spec(spec):
+        """``spec`` re-targeted at the native backend.
+
+        Injected backend-fault knobs (``fail``/``fail_seed``) are
+        dropped so an injected outage does not chase the request onto
+        the failover substrate.
+        """
+        base_args = {k: v for k, v in spec.base_args.items()
+                     if k not in ("backend", "fail", "fail_seed")}
+        base_args["backend"] = "native"
+        return EngineSpec("row", base_args, spec.layers)
+
     def _compute(self, plan):
         """The blocking discovery computation (thread-pool side).
 
@@ -577,6 +668,16 @@ class RobustServeDaemon:
         and contours come from (and land in) the artifact cache, the
         per-spec circuit breaker is shared across tenants, and the
         layered deadline rides into the run via the guard.
+
+        Non-native backends additionally sit behind a per-backend
+        circuit breaker on the session's board (key
+        ``backend:<name>``): a :class:`BackendUnavailableError` records
+        a failure and the request reruns on the ``native`` backend;
+        once the breaker opens, repeats skip the doomed attempt
+        entirely. Both paths are recorded in the reply's
+        ``degraded_reasons`` (``backend-failover-sqlite-to-native`` /
+        ``backend-breaker-sqlite-to-native``) and ``result.backend``
+        names the substrate that actually answered.
         """
         session = self.session
         space, contours = session.space_and_contours(
@@ -586,29 +687,56 @@ class RobustServeDaemon:
             return {"op": "warm", "resolution": plan.resolution,
                     "cached": True,
                     "contours": len(contours)}
-        breaker = session.breakers.breaker_for(plan.spec) \
-            if session.breakers is not None else None
-        algo = session.algorithm(plan.algorithm, space=space,
-                                 contours=contours,
-                                 deadline=plan.deadline,
-                                 breaker=breaker)
+        spec = plan.spec
+        backend = self._requested_backend(spec)
+        board = session.breakers
+        if not self.config.backend_failover or board is None \
+                or backend in (None, "native"):
+            return self._run_plan(plan, space, contours, spec)
+        breaker = board.breaker_for("backend:%s" % backend)
+        if not breaker.allow():
+            self.metrics.counter("serve.failover.fastfail").inc()
+            return self._run_plan(
+                plan, space, contours, self._native_failover_spec(spec),
+                failover=["backend-breaker-%s-to-native" % backend])
+        try:
+            result = self._run_plan(plan, space, contours, spec)
+        except BackendUnavailableError:
+            breaker.record_failure()
+            self.metrics.counter("serve.failover.%s" % backend).inc()
+            return self._run_plan(
+                plan, space, contours, self._native_failover_spec(spec),
+                failover=["backend-failover-%s-to-native" % backend])
+        breaker.record_success()
+        return result
+
+    def _run_plan(self, plan, space, contours, spec, failover=()):
+        breaker = self.session.breakers.breaker_for(spec) \
+            if self.session.breakers is not None else None
+        algo = self.session.algorithm(plan.algorithm, space=space,
+                                      contours=contours,
+                                      deadline=plan.deadline,
+                                      breaker=breaker)
         engine = None
-        if plan.spec != EngineSpec.parse("simulated"):
-            engine = plan.spec.build(space, qa_index=plan.qa,
-                                     database=session.database)
+        if spec != EngineSpec.parse("simulated"):
+            engine = spec.build(space, qa_index=plan.qa,
+                                database=self.session.database)
         result = algo.run(plan.qa, engine=engine)
         extras = result.extras
+        failover = list(failover)
         return {
             "op": "run",
             "algorithm": result.algorithm,
             "resolution": plan.resolution,
             "qa": list(plan.qa),
+            "backend": getattr(engine, "backend_name", None),
             "total_cost": float(result.total_cost),
             "optimal_cost": float(result.optimal_cost),
             "sub_optimality": float(result.sub_optimality),
             "executions": result.num_executions,
-            "degraded": bool(extras.get("degraded")),
+            "degraded": bool(extras.get("degraded")) or bool(failover),
             "degraded_reason": extras.get("degraded_reason"),
+            "failover": failover,
             "retries": extras.get("retries", 0),
             "wasted_cost": float(extras.get("wasted_cost", 0.0)),
         }
@@ -638,6 +766,8 @@ class RobustServeDaemon:
             },
             "breakers": self.session.breakers.export()
             if self.session.breakers is not None else {},
+            "faults": self._fault_injector.snapshot()
+            if self._fault_injector is not None else None,
         })
         return payload
 

@@ -54,10 +54,74 @@ ERR_BAD_REQUEST = "bad-request"
 ERR_OVERLOADED = "overloaded"
 ERR_DRAINING = "draining"
 ERR_INTERNAL = "internal"
+ERR_OVERSIZED = "oversized-frame"
+
+#: Default per-line byte ceiling, enforced on *both* sides of the wire:
+#: the daemon answers an over-cap request line with a structured
+#: ``oversized-frame`` error (the connection survives), and the client
+#: refuses to send -- or trust -- a frame above the cap. Without a cap,
+#: ``readline()`` buffers a hostile newline-free stream without bound.
+MAX_LINE_BYTES = 128 * 1024
 
 
 class ProtocolError(ReproError):
     """Raised for malformed or unserviceable request lines."""
+
+
+class FrameAssembler:
+    """Incremental newline framing with a hard per-line byte cap.
+
+    The daemon feeds raw socket chunks; :meth:`feed` yields
+    ``("frame", line_bytes)`` events for complete lines and
+    ``("oversized", byte_count)`` for lines that exceed the cap. An
+    over-cap line is *discarded to its terminating newline* -- one
+    structured error per monster line, never a torn-down connection and
+    never an unbounded buffer (at most ``max_line_bytes`` is ever
+    held). A partial line still buffered when the peer hangs up is a
+    torn frame: :attr:`pending` reports it so the daemon can drop it
+    silently instead of parsing half a request.
+    """
+
+    __slots__ = ("max_line_bytes", "_buf", "_discarding", "_dropped")
+
+    def __init__(self, max_line_bytes=MAX_LINE_BYTES):
+        if max_line_bytes < 2:
+            raise ValueError("max_line_bytes must be >= 2")
+        self.max_line_bytes = int(max_line_bytes)
+        self._buf = bytearray()
+        self._discarding = False
+        self._dropped = 0
+
+    @property
+    def pending(self):
+        """True when a partial (torn) frame is buffered."""
+        return bool(self._buf) or self._discarding
+
+    def feed(self, data):
+        """Consume one chunk; return the list of completed events."""
+        events = []
+        self._buf.extend(data)
+        while True:
+            index = self._buf.find(b"\n")
+            if index < 0:
+                if self._discarding:
+                    self._dropped += len(self._buf)
+                    del self._buf[:]
+                elif len(self._buf) > self.max_line_bytes:
+                    self._discarding = True
+                    self._dropped = len(self._buf)
+                    del self._buf[:]
+                return events
+            line = bytes(self._buf[:index + 1])
+            del self._buf[:index + 1]
+            if self._discarding:
+                self._discarding = False
+                events.append(("oversized", self._dropped + len(line)))
+                self._dropped = 0
+            elif len(line) > self.max_line_bytes:
+                events.append(("oversized", len(line)))
+            else:
+                events.append(("frame", line))
 
 
 def encode_message(payload):

@@ -80,7 +80,7 @@ def _row_backed(space, database, default_backend, **kwargs):
         raise DiscoveryError(
             "row-backed engines need a database; pass database= to the "
             "session or the build call")
-    allowed = {"delta", "backend"}
+    allowed = {"delta", "backend", "fail", "fail_seed"}
     unknown = set(kwargs) - allowed
     if unknown:
         raise DiscoveryError(

@@ -1,0 +1,157 @@
+"""Unit tests for :mod:`repro.common.backoff`.
+
+The shared retry schedule underpins the serve client's resilience and
+the chaos harnesses, so its contract -- deterministic per-stream jitter,
+bounds, hint handling, deadline clamping -- is pinned here directly.
+"""
+
+import pytest
+
+from repro.common.backoff import Backoff, BackoffPolicy
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=-1.0)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=1.0, cap=0.5)
+
+    def test_rejects_multiplier_below_one(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.9)
+
+    def test_repr_mentions_knobs(self):
+        text = repr(BackoffPolicy(base=0.1, cap=3.0, seed=7))
+        assert "0.1" in text and "3" in text
+
+
+class TestDeterminism:
+    def test_same_stream_same_schedule(self):
+        policy = BackoffPolicy(seed=42)
+        one = policy.start(stream=5)
+        two = policy.start(stream=5)
+        assert [one.next_delay() for _ in range(8)] \
+            == [two.next_delay() for _ in range(8)]
+
+    def test_distinct_streams_distinct_schedules(self):
+        policy = BackoffPolicy(seed=0)
+        one = policy.start(stream=0)
+        two = policy.start(stream=1)
+        assert [one.next_delay() for _ in range(6)] \
+            != [two.next_delay() for _ in range(6)]
+
+    def test_auto_streams_are_sequential_and_distinct(self):
+        policy = BackoffPolicy(seed=3)
+        first = policy.start()
+        second = policy.start()
+        assert [first.next_delay() for _ in range(6)] \
+            != [second.next_delay() for _ in range(6)]
+        # A pinned stream reproduces whatever an auto stream drew.
+        assert policy.start(stream=0).next_delay() \
+            == BackoffPolicy(seed=3).start().next_delay()
+
+
+class TestBounds:
+    def test_delays_stay_within_base_and_cap(self):
+        policy = BackoffPolicy(base=0.01, cap=0.5, multiplier=3.0,
+                               seed=1)
+        state = policy.start()
+        delays = [state.next_delay() for _ in range(200)]
+        assert all(0.01 <= d <= 0.5 for d in delays)
+
+    def test_grows_toward_cap(self):
+        policy = BackoffPolicy(base=0.01, cap=10.0, multiplier=3.0,
+                               seed=2)
+        state = policy.start()
+        delays = [state.next_delay() for _ in range(30)]
+        # Decorrelated jitter grows geometrically in expectation: the
+        # late delays must dwarf the early ones.
+        assert max(delays[15:]) > 20 * delays[0]
+
+    def test_attempts_counter(self):
+        state = BackoffPolicy().start()
+        for expected in range(1, 5):
+            state.next_delay()
+            assert state.attempts == expected
+
+
+class TestRetryAfterHint:
+    def test_hint_is_a_lower_bound(self):
+        policy = BackoffPolicy(base=0.01, cap=5.0, seed=0)
+        state = policy.start()
+        assert state.next_delay(retry_after=2.5) >= 2.5
+
+    def test_hint_clipped_to_cap(self):
+        policy = BackoffPolicy(base=0.01, cap=0.3, seed=0)
+        state = policy.start()
+        # A hostile hint cannot park the client past the cap.
+        assert state.next_delay(retry_after=600.0) <= 0.3
+
+    def test_nonpositive_hint_ignored(self):
+        policy = BackoffPolicy(base=0.01, cap=1.0, seed=9)
+        baseline = policy.start(stream=0)
+        hinted = policy.start(stream=0)
+        assert hinted.next_delay(retry_after=0) \
+            == baseline.next_delay()
+
+
+class TestDeadline:
+    def test_delay_clamped_to_remaining_budget(self):
+        clock = FakeClock()
+        policy = BackoffPolicy(base=1.0, cap=1.0, seed=0)
+        state = policy.start(deadline_s=0.25, clock=clock)
+        assert state.next_delay() == 0.25
+
+    def test_exhausted_budget_yields_none(self):
+        clock = FakeClock()
+        state = BackoffPolicy().start(deadline_s=1.0, clock=clock)
+        clock.advance(2.0)
+        assert state.next_delay() is None
+
+    def test_remaining_tracks_clock(self):
+        clock = FakeClock()
+        state = BackoffPolicy().start(deadline_s=5.0, clock=clock)
+        clock.advance(2.0)
+        assert state.remaining() == pytest.approx(3.0)
+
+    def test_unbounded_remaining_is_none(self):
+        assert BackoffPolicy().start().remaining() is None
+
+
+class TestSleep:
+    def test_sleep_uses_sleeper_and_reports_true(self):
+        slept = []
+        state = BackoffPolicy(base=0.05, cap=0.05).start()
+        assert state.sleep(sleeper=slept.append) is True
+        assert slept == [0.05]
+
+    def test_sleep_reports_false_when_budget_out(self):
+        clock = FakeClock()
+        slept = []
+        state = BackoffPolicy().start(deadline_s=1.0, clock=clock)
+        clock.advance(5.0)
+        assert state.sleep(sleeper=slept.append) is False
+        assert slept == []
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deadline tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_backoff_direct_construction():
+    state = Backoff(BackoffPolicy(base=0.02, cap=0.02), stream=3)
+    assert state.next_delay() == pytest.approx(0.02)
