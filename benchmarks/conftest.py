@@ -21,6 +21,9 @@ BENCH_RESOLUTION = {2: 48, 3: 16, 4: 10, 5: 7, 6: 5}
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Repository root, where ``BENCH_*.json`` trajectory copies live.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 
 def resolution_for(name):
     """Benchmark grid resolution for a workload name like ``4D_Q91``."""
@@ -37,6 +40,25 @@ def emit(report, filename):
     with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
         handle.write(text + "\n")
     return text
+
+
+def write_bench_json(payload, filename):
+    """Persist a ``BENCH_*.json`` payload to both trajectory locations.
+
+    Benchmark JSONs live under ``benchmarks/results/`` (the suite's
+    output directory) *and* as a refreshed copy at the repository root,
+    where the perf-trajectory files ROADMAP/EXPERIMENTS cite are kept.
+    Earlier revisions wrote only the former, leaving the root trajectory
+    permanently empty.
+    """
+    import json
+
+    for directory in (RESULTS_DIR, REPO_ROOT):
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, filename), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return os.path.join(RESULTS_DIR, filename)
 
 
 def run_once(benchmark, fn):

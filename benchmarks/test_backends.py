@@ -9,12 +9,10 @@ result cardinality and reported sub-optimality agree, and emits the
 per-backend timings as ``results/BENCH_backends.json``.
 """
 
-import json
-import os
 import time
 
 import pytest
-from conftest import RESULTS_DIR, run_once
+from conftest import run_once, write_bench_json
 
 from repro.algorithms.spillbound import SpillBound
 from repro.catalog.datagen import generate_database
@@ -117,11 +115,7 @@ def test_backend_bakeoff(benchmark):
             for name in sorted(runs)
         },
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_backends.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(payload, "BENCH_backends.json")
     print("\nbackend bake-off (discovery / optimal-plan seconds):")
     for name in sorted(runs):
         print("  %-10s %8.3fs / %.3fs" % (

@@ -1,0 +1,81 @@
+"""Serial sweep-throughput speedup from the vectorized grid kernel.
+
+The cold res-6 2D pipeline -- space build, contour construction, and
+one exhaustive sweep per algorithm -- run twice through fresh sessions:
+once with the legacy scalar hot path (``kernel=False``: one DP
+invocation and one cost-algebra walk per grid location) and once with
+the batch kernel (``kernel=True``: one vectorised DP pass over the
+grid, one costing pass per plan, whole-grid spill tensors, shared DP
+memo). The kernel's contract is bit-identity, so the benchmark asserts
+every sweep grid is ``==``-identical across the two paths before it
+asserts the >= 10x throughput floor.
+
+Emits ``BENCH_grid_kernel.json`` (results dir + repo root).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import write_bench_json
+
+from repro.session import RobustSession
+
+QUERY = "2D_Q91"
+RESOLUTION = 6
+ALGORITHMS = ("planbouquet", "spillbound", "alignedbound")
+
+#: Minimum acceptable scalar/kernel serial-throughput ratio.
+SPEEDUP_FLOOR = 10.0
+
+
+def _cold_pipeline(kernel):
+    """Build + contours + exhaustive sweeps from a cold session."""
+    session = RobustSession(resolution=RESOLUTION, kernel=kernel)
+    start = time.perf_counter()
+    session.space_and_contours(QUERY)
+    grids = {
+        algorithm: session.sweep(QUERY, algorithm=algorithm)
+        .sub_optimalities
+        for algorithm in ALGORITHMS
+    }
+    return time.perf_counter() - start, grids
+
+
+def test_grid_kernel_speedup():
+    scalar_seconds, scalar_grids = _cold_pipeline(kernel=False)
+    kernel_seconds, kernel_grids = _cold_pipeline(kernel=True)
+
+    # Bit-identity first: speed means nothing if the grids moved.
+    for algorithm in ALGORITHMS:
+        assert np.array_equal(scalar_grids[algorithm],
+                              kernel_grids[algorithm]), \
+            "kernel diverged on %s" % algorithm
+
+    locations = int(scalar_grids[ALGORITHMS[0]].size) * len(ALGORITHMS)
+    scalar_rate = locations / scalar_seconds
+    kernel_rate = locations / kernel_seconds
+    speedup = scalar_seconds / kernel_seconds
+
+    payload = {
+        "pipeline": "%s res %d cold build + contours + exhaustive "
+                    "sweep x %s" % (QUERY, RESOLUTION,
+                                    ", ".join(ALGORITHMS)),
+        "locations": locations,
+        "scalar_seconds": scalar_seconds,
+        "kernel_seconds": kernel_seconds,
+        "scalar_locations_per_second": scalar_rate,
+        "kernel_locations_per_second": kernel_rate,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "grids_identical": True,
+    }
+    write_bench_json(payload, "BENCH_grid_kernel.json")
+    print("\ngrid kernel: scalar %.3fs (%.0f loc/s) -> kernel %.3fs "
+          "(%.0f loc/s), %.1fx" % (scalar_seconds, scalar_rate,
+                                   kernel_seconds, kernel_rate, speedup))
+
+    assert speedup >= SPEEDUP_FLOOR, \
+        "kernel speedup %.2fx below the %.1fx floor (scalar %.3fs, " \
+        "kernel %.3fs)" % (speedup, SPEEDUP_FLOOR, scalar_seconds,
+                           kernel_seconds)

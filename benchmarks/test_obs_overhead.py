@@ -13,11 +13,9 @@ and nothing else. This benchmark makes that contract a number:
   emit the accounting as ``results/BENCH_obs_overhead.json``.
 """
 
-import json
-import os
 import time
 
-from conftest import RESULTS_DIR, resolution_for, run_once
+from conftest import resolution_for, run_once, write_bench_json
 
 from repro.algorithms.spillbound import SpillBound
 from repro.ess.contours import ContourSet
@@ -107,11 +105,7 @@ def test_obs_overhead(benchmark):
         "estimated_overhead_fraction": fraction,
         "budget_fraction": OVERHEAD_BUDGET,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_obs_overhead.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(payload, "BENCH_obs_overhead.json")
     print("\nobs overhead: %d checks x %.1fns x %d = %.4fms "
           "over %.1fms sweep (%.3f%%, budget %.0f%%)"
           % (checks, per_check * 1e9, SAFETY_FACTOR, estimated * 1e3,

@@ -13,13 +13,11 @@ worker counts (the §9 contract), and emits the accounting as
 ``results/BENCH_parallel_sweep.json``.
 """
 
-import json
-import os
 import time
 
 import numpy as np
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.session import RobustSession, SweepDriver
 
@@ -69,11 +67,7 @@ def test_parallel_sweep_speedup():
         "speedup_floor": SPEEDUP_FLOOR,
         "grids_identical": True,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_parallel_sweep.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(payload, "BENCH_parallel_sweep.json")
     print("\nparallel sweep: " + "  ".join(
         "%dw %.2fs (%.2fx)" % (w, seconds[w], speedup[w])
         for w in WORKER_COUNTS))

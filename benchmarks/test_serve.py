@@ -20,12 +20,10 @@ that was answered -- nothing queues unboundedly.
 Emits ``results/BENCH_serve.json``.
 """
 
-import json
-import os
 import threading
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.serve import ServeClient, ServeConfig, ServerThread
 
@@ -159,11 +157,7 @@ def test_serve_latency_and_overload(tmp_path):
             "latency": _summary(lat),
         }
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(payload, "BENCH_serve.json")
 
     lines = ["serve bench (%s res %d):" % (QUERY, RESOLUTION)]
     for level in LEVELS:

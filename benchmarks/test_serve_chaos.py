@@ -11,12 +11,10 @@ attempt.
 Emits ``results/BENCH_serve_chaos.json``.
 """
 
-import json
-import os
 import threading
 import time
 
-from conftest import RESULTS_DIR
+from conftest import write_bench_json
 
 from repro.serve import (
     ServeClient,
@@ -145,11 +143,7 @@ def test_serve_chaos_availability(tmp_path):
             assert sum(injected["injected"][k]
                        for k in ("drop", "truncate", "garbage")) > 0
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_serve_chaos.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_json(payload, "BENCH_serve_chaos.json")
 
     lines = ["serve chaos bench (%s res %d, %d clients x %d):"
              % (QUERY, RESOLUTION, CLIENTS, PER_CLIENT)]

@@ -2,6 +2,8 @@
 
 from repro.cost.params import CostParams
 from repro.cost.cardinality import SelectivityEstimator
+from repro.cost.kernel import GridKernel
 from repro.cost.model import CostModel, PlanCosting
 
-__all__ = ["CostParams", "SelectivityEstimator", "CostModel", "PlanCosting"]
+__all__ = ["CostParams", "SelectivityEstimator", "CostModel",
+           "GridKernel", "PlanCosting"]

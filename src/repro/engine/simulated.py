@@ -143,12 +143,22 @@ class SimulatedEngine:
         if cached is not None:
             self._spill_cache.move_to_end(key)
             return cached
-        dim = self.space.query.epp_index(epp)
-        assignment = dict(self._truth)
-        assignment[epp] = self.space.grid.values[dim]
-        profile = np.asarray(
-            self.space.cost_model.subtree_cost(node, assignment), dtype=float
-        )
+        # Kernel-backed spaces serve profiles as slices of a whole-grid
+        # subtree tensor computed once per (plan, node) and shared by
+        # every engine over the space; the slice is bitwise what the
+        # per-truth evaluation below produces.
+        spill = getattr(self.space, "spill_profile", None)
+        profile = None
+        if spill is not None:
+            profile = spill(plan_info, epp, node, self.qa_index)
+        if profile is None:
+            dim = self.space.query.epp_index(epp)
+            assignment = dict(self._truth)
+            assignment[epp] = self.space.grid.values[dim]
+            profile = np.asarray(
+                self.space.cost_model.subtree_cost(node, assignment),
+                dtype=float,
+            )
         self._spill_cache[key] = profile
         while len(self._spill_cache) > self._spill_cache_cap:
             self._spill_cache.popitem(last=False)

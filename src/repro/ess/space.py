@@ -21,15 +21,49 @@ is achievable by a real plan; the only approximation risk is missing a
 plan whose optimality region evaded both seeding and validation probes.
 """
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.common.errors import OptimizerError
 from repro.common.rng import make_rng
+from repro.cost.kernel import GridKernel
 from repro.cost.model import CostModel
 from repro.ess.grid import SelectivityGrid
 from repro.optimizer.dp import Optimizer
 from repro.plans.pipelines import epp_total_order
 from repro.plans.nodes import JOIN_LIKE
+
+#: Hypercube corner enumeration cap for seeding: 2**D corners up to
+#: ``D = 6`` (the paper's maximum dimensionality), then the first 64
+#: corners only -- the enumeration is exponential in D and would
+#: otherwise dominate the whole build beyond a few more dimensions.
+MAX_CORNER_SEEDS = 64
+
+#: Cap on memoized per-location optimizer results (kernel mode).
+DP_MEMO_CAP = 8192
+
+
+def seed_indices(grid, count, rng, corners=True):
+    """Seed locations for a fast build: corners, centre, random picks.
+
+    Corner enumeration is capped at :data:`MAX_CORNER_SEEDS` (all
+    ``2**D`` corners through ``D = 6``, the first 64 beyond), keeping
+    high-dimensional seeding linear in ``count`` instead of exponential
+    in ``D``. The rng draw sequence is independent of the cap, so
+    capped and uncapped builds at ``D <= 6`` are identical.
+    """
+    seeds = []
+    if corners:
+        for mask in range(min(2 ** grid.dims, MAX_CORNER_SEEDS)):
+            seeds.append(tuple(
+                grid.shape[d] - 1 if (mask >> d) & 1 else 0
+                for d in range(grid.dims)
+            ))
+        seeds.append(tuple(r // 2 for r in grid.shape))
+    picks = rng.integers(0, grid.size, size=count)
+    seeds.extend(grid.unflat(int(p)) for p in picks)
+    return seeds
 
 
 class PlanInfo:
@@ -86,6 +120,7 @@ class ExplorationSpace:
         grid=None,
         cost_model=None,
         bushy=False,
+        kernel=True,
     ):
         if query.dimensions < 1:
             raise OptimizerError(
@@ -105,6 +140,35 @@ class ExplorationSpace:
         self.plan_at = None
         self.opt_cost = None
         self.built = False
+        #: Batch-evaluate the grid hot path (builds, costing, spill
+        #: profiles) through :class:`~repro.cost.kernel.GridKernel`.
+        #: ``False`` keeps the legacy one-location-at-a-time path; the
+        #: two produce bit-identical spaces (DESIGN.md §13), so the
+        #: flag is an execution detail, not part of the artifact
+        #: content address.
+        self.kernel_enabled = bool(kernel)
+        self._kernel = None
+        #: Optional cross-build reuse bank (a
+        #: :class:`~repro.session.cache.PlanBank`), attached by the
+        #: session before building.
+        self.bank = None
+        #: Number of leading plans already folded into the surface
+        #: (incremental ``_refresh_surface`` bookkeeping).
+        self._surface_count = 0
+        #: Memoized per-location optimizer results, shared by every
+        #: algorithm instance over this space (kernel mode only).
+        self._dp_memo = OrderedDict()
+
+    @property
+    def kernel(self):
+        """The space's :class:`GridKernel`, or ``None`` when disabled."""
+        if not self.kernel_enabled:
+            return None
+        if self._kernel is None:
+            self._kernel = GridKernel(
+                self.grid, self.query.epps, self.cost_model,
+                surface_bank=self.bank)
+        return self._kernel
 
     # ------------------------------------------------------------------
     # assignments
@@ -144,9 +208,13 @@ class ExplorationSpace:
         if signature in self._signatures:
             return self._signatures[signature]
         if cost is None:
-            cost = np.asarray(
-                self.cost_model.cost(tree, self._grid_assignment())
-            ).reshape(self.grid.shape)
+            kernel = self.kernel
+            if kernel is not None:
+                cost = kernel.plan_surface(tree, signature)
+            else:
+                cost = np.asarray(
+                    self.cost_model.cost(tree, self._grid_assignment())
+                ).reshape(self.grid.shape)
         else:
             cost = np.asarray(cost, dtype=float).reshape(self.grid.shape)
         spill_order = []
@@ -163,11 +231,49 @@ class ExplorationSpace:
         return info
 
     def optimize_at(self, index, spilling_on=None):
-        """Exact DP call at a grid index; returns an :class:`OptimizedPlan`."""
+        """Exact DP call at a grid index; returns an :class:`OptimizedPlan`.
+
+        In kernel mode results are memoized per ``(index, spilling_on)``
+        and shared across every algorithm instance on this space, so
+        e.g. AlignedBound's constrained probes are paid once per sweep
+        unit family instead of once per instance. The optimizer is
+        deterministic per assignment, so memoization never changes an
+        outcome. A session-attached bank additionally shares results
+        across spaces of the same query whose grids overlap (corners
+        and endpoints coincide at every resolution).
+        """
+        if not self.kernel_enabled:
+            return self._optimize_uncached(index, spilling_on)
+        key = (tuple(int(i) for i in index), spilling_on)
+        if key in self._dp_memo:
+            self._dp_memo.move_to_end(key)
+            return self._dp_memo[key]
+        bank_key = None
+        if self.bank is not None:
+            assignment = self.assignment_at(index)
+            bank_key = (spilling_on, self.optimizer.bushy,
+                        tuple(sorted(assignment.items())))
+            found, result = self.bank.get_plan(bank_key)
+            if found:
+                self._dp_memo[key] = result
+                self._trim_dp_memo()
+                return result
+        result = self._optimize_uncached(index, spilling_on)
+        self._dp_memo[key] = result
+        self._trim_dp_memo()
+        if bank_key is not None:
+            self.bank.put_plan(bank_key, result)
+        return result
+
+    def _optimize_uncached(self, index, spilling_on):
         assignment = self.assignment_at(index)
         if spilling_on is None:
             return self.optimizer.optimize(assignment)
         return self.optimizer.optimize_spilling_on(spilling_on, assignment)
+
+    def _trim_dp_memo(self):
+        while len(self._dp_memo) > DP_MEMO_CAP:
+            self._dp_memo.popitem(last=False)
 
     # ------------------------------------------------------------------
     # build
@@ -186,10 +292,20 @@ class ExplorationSpace:
 
     def _build_exact(self):
         plan_at = np.empty(self.grid.shape, dtype=np.int32)
-        for index in self.grid.indices():
-            result = self.optimize_at(index)
-            info = self.register_plan(result.plan)
-            plan_at[index] = info.id
+        if self.kernel_enabled:
+            # One vectorised DP pass over the entire grid instead of
+            # ``grid.size`` scalar optimizer invocations; registration
+            # order follows C order exactly as the scalar loop does.
+            batch = self.optimizer.optimize_batch(self._grid_assignment())
+            flat = plan_at.reshape(-1)
+            for pos in range(self.grid.size):
+                info = self.register_plan(batch.plan_for(pos))
+                flat[pos] = info.id
+        else:
+            for index in self.grid.indices():
+                result = self.optimize_at(index)
+                info = self.register_plan(result.plan)
+                plan_at[index] = info.id
         self.plan_at = plan_at
         self._refresh_surface()
 
@@ -198,44 +314,104 @@ class ExplorationSpace:
         if sample is None:
             sample = min(max(64, grid.size // 16), 768)
         seeds = self._seed_indices(sample, rng)
-        for index in seeds:
-            self.register_plan(self.optimize_at(index).plan)
+        # Per-build DP resolution memo: the DP is deterministic per
+        # assignment and register_plan dedups by signature, so batching
+        # only the not-yet-resolved indices -- duplicates within a draw,
+        # probe locations already covered by the seed batch -- registers
+        # the same plans in the same order as the scalar path.
+        resolved = {}
+
+        def _resolve(indices):
+            fresh = [index for index in dict.fromkeys(indices)
+                     if index not in resolved]
+            if fresh:
+                batch = self.optimizer.optimize_batch(
+                    self.kernel.gather_assignment(fresh))
+                for pos, index in enumerate(fresh):
+                    resolved[index] = (batch, pos)
+
+        if self.kernel_enabled:
+            # The batch DP's cost is dominated by the per-join Python
+            # loop, not the batch width, so when the seed draw already
+            # rivals the grid size it is cheaper to resolve every cell
+            # in the one pass and make all validation rounds free.
+            if grid.size <= len(seeds):
+                _resolve(list(grid.indices()))
+            _resolve(seeds)
+            for index in seeds:
+                batch, pos = resolved[index]
+                self.register_plan(batch.plan_for(pos))
+        else:
+            for index in seeds:
+                self.register_plan(self.optimize_at(index).plan)
         self._refresh_surface()
         # Iterative validation: probe random locations with exact DP and
-        # absorb any strictly better plan we had missed.
+        # absorb any strictly better plan we had missed. The kernel path
+        # draws the same probes and batches the DP; the acceptance test
+        # compares the same floats, so both paths register the same
+        # plans in the same order.
         for _round in range(max_rounds):
             probes = self._seed_indices(validate, rng, corners=False)
             grew = False
-            for index in probes:
-                result = self.optimize_at(index)
-                if result.cost < self.opt_cost[index] * (1 - 1e-9):
-                    self.register_plan(result.plan)
-                    grew = True
+            if self.kernel_enabled:
+                _resolve(probes)
+                for index in probes:
+                    batch, pos = resolved[index]
+                    if batch.cost_at(pos) < \
+                            self.opt_cost[index] * (1 - 1e-9):
+                        self.register_plan(batch.plan_for(pos))
+                        grew = True
+            else:
+                for index in probes:
+                    result = self.optimize_at(index)
+                    if result.cost < self.opt_cost[index] * (1 - 1e-9):
+                        self.register_plan(result.plan)
+                        grew = True
             if grew:
                 self._refresh_surface()
             else:
                 break
 
     def _seed_indices(self, count, rng, corners=True):
-        grid = self.grid
-        seeds = []
-        if corners:
-            # Every corner of the hypercube (caps at 2^D = 64 for D = 6),
-            # plus the centre.
-            for mask in range(2 ** grid.dims):
-                seeds.append(tuple(
-                    grid.shape[d] - 1 if (mask >> d) & 1 else 0
-                    for d in range(grid.dims)
-                ))
-            seeds.append(tuple(r // 2 for r in grid.shape))
-        picks = rng.integers(0, grid.size, size=count)
-        seeds.extend(grid.unflat(int(p)) for p in picks)
-        return seeds
+        return seed_indices(self.grid, count, rng, corners=corners)
 
     def _refresh_surface(self):
-        stack = np.stack([info.cost for info in self.plans])
-        self.plan_at = np.argmin(stack, axis=0).astype(np.int32)
-        self.opt_cost = np.min(stack, axis=0)
+        """Fold registered plan surfaces into ``plan_at``/``opt_cost``.
+
+        Plans already folded (the first ``_surface_count``) are not
+        re-stacked: each new surface updates the running min/argmin
+        where strictly cheaper, which is array-identical to the full
+        ``np.argmin`` over the stack -- strict ``<`` keeps the earliest
+        plan id on ties, exactly like argmin's first-occurrence rule.
+        """
+        if self.opt_cost is None or self._surface_count == 0:
+            stack = np.stack([info.cost for info in self.plans])
+            self.plan_at = np.argmin(stack, axis=0).astype(np.int32)
+            self.opt_cost = np.min(stack, axis=0)
+        else:
+            for info in self.plans[self._surface_count:]:
+                better = info.cost < self.opt_cost
+                np.copyto(self.opt_cost, info.cost, where=better)
+                np.copyto(self.plan_at, np.int32(info.id), where=better)
+        self._surface_count = len(self.plans)
+
+    # ------------------------------------------------------------------
+    # spill profiles
+
+    def spill_profile(self, plan_info, epp, node, qa_index):
+        """Spill-mode subtree cost profile along ``epp``'s dimension.
+
+        A 1-D slice of the kernel's whole-grid subtree tensor at the
+        truth's coordinates -- bitwise what the engine's legacy per-truth
+        evaluation produced, computed once per (plan, node) instead of
+        once per hidden location. Returns ``None`` when the kernel is
+        disabled, telling the engine to fall back to its own path.
+        """
+        kernel = self.kernel
+        if kernel is None:
+            return None
+        dim = self.query.epp_index(epp)
+        return kernel.spill_profile(plan_info.id, node, dim, qa_index)
 
     # ------------------------------------------------------------------
     # lookups

@@ -168,6 +168,22 @@ class SyntheticSpace:
         new plans, so induced-alignment probes come up empty."""
         return None
 
+    def spill_profile(self, plan_info, epp, node, qa_index):
+        """Spill profile as a slice of the plan's cost surface.
+
+        Synthetic subtree cost is ``fraction * cost_fn(*sels)`` and the
+        registered surface is ``cost_fn(*meshes)``, so the profile is a
+        1-D slice of the surface scaled by the node's fraction --
+        bitwise equal to the engine's per-truth evaluation, with no
+        re-walk of the cost function per hidden location.
+        """
+        dim = self.query.epp_index(epp)
+        slicer = tuple(
+            slice(None) if d == dim else int(qa_index[d])
+            for d in range(self.grid.dims)
+        )
+        return node.fraction * self.plans[plan_info.id].cost[slicer]
+
     @property
     def c_min(self):
         return float(self.opt_cost[self.grid.origin])

@@ -185,9 +185,14 @@ def exhaustive_sweep(algorithm, sample=None, rng=None, progress=None,
         return result.sub_optimality
 
     flats, sampled = sample_locations(grid, sample, rng)
+    # One vectorised unravel for the whole visit list instead of a
+    # per-location divmod walk (same order, same coordinates).
+    coords = np.unravel_index(np.asarray(flats, dtype=np.int64),
+                              grid.shape)
+    locations = list(zip(*(axis.tolist() for axis in coords)))
     subopts = np.empty(len(flats))
-    for pos, flat in enumerate(flats):
-        subopts[pos] = run_at(grid.unflat(int(flat)))
+    for pos, index in enumerate(locations):
+        subopts[pos] = run_at(index)
         if progress:
             progress(pos + 1, len(flats))
     if sampled:

@@ -87,7 +87,7 @@ class RobustSession:
     def __init__(self, cache_dir=None, memory_slots=None, resolution=None,
                  mode="fast", s_min=1e-6, rng=0, ratio=2.0, workers=None,
                  engine_spec="simulated", database=None, guard=None,
-                 breaker=None, tracer=None):
+                 breaker=None, tracer=None, kernel=True):
         kwargs = {} if memory_slots is None else \
             {"memory_slots": memory_slots}
         self.cache = ArtifactCache(cache_dir=cache_dir, **kwargs)
@@ -108,6 +108,10 @@ class RobustSession:
         if breaker is True:
             breaker = BreakerBoard()
         self.breakers = breaker
+        #: Batch-evaluate grid hot paths through the vectorised
+        #: :class:`~repro.cost.kernel.GridKernel`; ``False`` keeps the
+        #: legacy scalar paths (bit-identical output either way).
+        self.kernel = bool(kernel)
 
     # ------------------------------------------------------------------
     # resolution of inputs
@@ -199,7 +203,12 @@ class RobustSession:
 
         def build():
             space = ExplorationSpace(query, resolution=resolution,
-                                     s_min=s_min)
+                                     s_min=s_min, kernel=self.kernel)
+            if self.kernel:
+                # Cross-build reuse: plan surfaces and DP results are
+                # shared with every other space of this query the
+                # session constructs (other resolutions, sweep units).
+                space.bank = self.cache.bank.scope(query)
             if mode == "exact" and workers is not None and workers > 1:
                 return parallel_exact_build(space, workers=workers)
             return space.build(mode=mode, rng=rng)

@@ -210,6 +210,12 @@ class SweepDriver:
         self.trace_dir = trace_dir
         #: Stats of the last journaled ``run`` (replayed/executed).
         self.journal_stats = None
+        #: Per-query (space, contours) memo: ``artifacts`` is consulted
+        #: twice per unit (algorithm construction and engine factory)
+        #: and once per unit per algorithm, so sweeping K algorithms
+        #: over one query pays the session-cache lookup once, not 2K
+        #: times.
+        self._artifact_memo = {}
         #: Driver-level metrics folded from every unit's ``obs``
         #: snapshot (``None`` until a unit reports one).
         self.obs = None
@@ -228,9 +234,42 @@ class SweepDriver:
     # ------------------------------------------------------------------
 
     def artifacts(self, query):
-        """The (space, contours) pair this driver sweeps over."""
-        return self.session.space_and_contours(
-            query, ratio=self.ratio, resolution=self.resolution)
+        """The (space, contours) pair this driver sweeps over (memoized
+        per query name on top of the session cache)."""
+        resolved = self.session.query(query)
+        cached = self._artifact_memo.get(resolved.name)
+        if cached is None:
+            cached = self.session.space_and_contours(
+                resolved, ratio=self.ratio, resolution=self.resolution)
+            self._artifact_memo[resolved.name] = cached
+        return cached
+
+    def reuse_summary(self):
+        """Cross-unit reuse counters: session cache + plan bank.
+
+        Sweep units sharing a query share one space (and therefore one
+        DP memo, one surface set and one contour-slice cache); the bank
+        additionally shares plan costings across resolutions. These
+        counters quantify how much of the sweep's work was served from
+        that reuse instead of recomputed.
+        """
+        stats = self.session.stats
+        summary = {
+            "space_memory_hits": stats.memory_hits,
+            "space_disk_hits": stats.disk_hits,
+            "space_builds": stats.builds,
+            "contour_hits": stats.contour_hits,
+            "contour_builds": stats.contour_builds,
+        }
+        bank = getattr(self.session.cache, "bank", None)
+        if bank is not None:
+            summary.update({
+                "surface_hits": bank.stats.surface_hits,
+                "surface_misses": bank.stats.surface_misses,
+                "dp_result_hits": bank.stats.plan_hits,
+                "dp_result_misses": bank.stats.plan_misses,
+            })
+        return summary
 
     def algorithm(self, algorithm, query):
         """Instantiate ``algorithm`` over the cached artifacts."""
