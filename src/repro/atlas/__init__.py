@@ -1,0 +1,69 @@
+"""Workload-scale robustness atlas (``repro atlas``).
+
+One parallel, journaled, resumable run over every configured
+(skeleton, q-error regime, resolution, algorithm) unit, producing:
+
+* a canonical, byte-deterministic ``atlas_summary.json``
+  (:mod:`repro.atlas.summary`);
+* a baseline-diff regression gate with per-metric tolerances
+  (:mod:`repro.atlas.gate`);
+* a self-contained static HTML report with heatmaps, contour overlays
+  and worst-location discovery trajectories (:mod:`repro.atlas.report`).
+
+See DESIGN.md §14 for the determinism contract and ``docs/atlas.md``
+for usage.
+"""
+
+from repro.atlas.driver import (
+    DEFAULT_ALGORITHMS,
+    DEFAULT_QUERIES,
+    DEFAULT_REGIMES,
+    DEFAULT_RESOLUTIONS,
+    AtlasConfig,
+    AtlasResult,
+    AtlasUnit,
+    collect_exhibits,
+    run_atlas,
+    unit_key,
+)
+from repro.atlas.gate import (
+    DEFAULT_TOLERANCES,
+    compare_summaries,
+    format_violations,
+    parse_tolerances,
+)
+from repro.atlas.report import render_atlas_html
+from repro.atlas.summary import (
+    METRICS,
+    SCHEMA,
+    build_summary,
+    canonical_json,
+    load_summary,
+    unit_metrics,
+    write_summary,
+)
+
+__all__ = [
+    "AtlasConfig",
+    "AtlasResult",
+    "AtlasUnit",
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_QUERIES",
+    "DEFAULT_REGIMES",
+    "DEFAULT_RESOLUTIONS",
+    "DEFAULT_TOLERANCES",
+    "METRICS",
+    "SCHEMA",
+    "build_summary",
+    "canonical_json",
+    "collect_exhibits",
+    "compare_summaries",
+    "format_violations",
+    "load_summary",
+    "parse_tolerances",
+    "render_atlas_html",
+    "run_atlas",
+    "unit_key",
+    "unit_metrics",
+    "write_summary",
+]

@@ -1,0 +1,153 @@
+"""``repro atlas`` verbs: run / bless / check.
+
+* ``run`` -- execute the atlas (journaled, resumable, optionally
+  parallel) and write summary + stats sidecar + HTML report into
+  ``--out``;
+* ``bless`` -- regenerate the canonical baseline summary at the pinned
+  config and install it at ``--baseline`` (byte-identical across
+  re-runs, serial or parallel);
+* ``check`` -- re-run the atlas at the committed baseline's embedded
+  config (CLI overrides allowed, and reported as config drift) and
+  fail with a non-zero exit on any per-unit metric regression.
+"""
+
+import os
+
+from repro.atlas.driver import AtlasConfig, collect_exhibits, run_atlas
+from repro.atlas.gate import (
+    compare_summaries,
+    format_violations,
+    parse_tolerances,
+)
+from repro.atlas.report import render_atlas_html
+from repro.atlas.summary import (
+    build_summary,
+    canonical_json,
+    load_summary,
+    write_summary,
+)
+from repro.common.atomicio import atomic_write_text
+
+#: Default committed-baseline location (regenerate with
+#: ``repro atlas bless``).
+DEFAULT_BASELINE = os.path.join("baselines", "atlas_summary.json")
+
+
+def _csv(text):
+    return tuple(part.strip() for part in text.split(",")
+                 if part.strip())
+
+
+def _overrides(args):
+    """Config overrides present on the command line (``None`` = keep)."""
+    return {
+        "queries": _csv(args.queries) if args.queries else None,
+        "regimes": _csv(args.regimes) if args.regimes else None,
+        "algorithms": _csv(args.algorithms) if args.algorithms
+        else None,
+        "resolutions": tuple(int(r) for r in _csv(args.resolutions))
+        if args.resolutions else None,
+        "seed": args.seed,
+        "sample": args.sample,
+        "ratio": args.ratio,
+    }
+
+
+def _config_from_args(args):
+    overrides = {k: v for k, v in _overrides(args).items()
+                 if v is not None}
+    return AtlasConfig(**overrides)
+
+
+def _progress(out):
+    def report(done, total, key):
+        out.write("[%d/%d] %s\n" % (done, total, key))
+        out.flush()
+    return report
+
+
+def _run(args, out):
+    config = _config_from_args(args)
+    out_dir = args.out
+    os.makedirs(out_dir, exist_ok=True)
+    journal_dir = os.path.join(out_dir, "journal")
+    result = run_atlas(config, journal_dir=journal_dir,
+                       resume=args.resume, workers=args.workers,
+                       progress=_progress(out) if args.verbose
+                       else None)
+    summary = build_summary(result)
+    summary_path = os.path.join(out_dir, "atlas_summary.json")
+    write_summary(summary_path, summary)
+    stats = result.stats()
+    atomic_write_text(os.path.join(out_dir, "atlas_stats.json"),
+                      canonical_json(stats))
+    written = [summary_path, os.path.join(out_dir, "atlas_stats.json")]
+    if not args.no_html:
+        collect_exhibits(result)
+        html_path = os.path.join(out_dir, "atlas_report.html")
+        atomic_write_text(html_path,
+                          render_atlas_html(summary, result=result,
+                                            stats=stats))
+        written.append(html_path)
+    totals = summary["totals"]
+    out.write("atlas: %d units, MSO worst %.4g, degraded %d\n"
+              % (totals["units"], totals["mso_worst"],
+                 totals["degraded"]))
+    journal = stats.get("journal")
+    if journal:
+        out.write("journal: %(replayed)d replayed, %(executed)d "
+                  "executed, %(truncated_records)d torn\n" % journal)
+    reuse = stats["reuse"]
+    out.write("reuse: %s\n" % ", ".join(
+        "%s=%s" % item for item in sorted(reuse.items())))
+    for path in written:
+        out.write("wrote %s\n" % path)
+    return 0
+
+
+def _bless(args, out):
+    config = _config_from_args(args)
+    result = run_atlas(config, workers=args.workers)
+    summary = build_summary(result)
+    baseline = args.baseline or DEFAULT_BASELINE
+    directory = os.path.dirname(baseline)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    write_summary(baseline, summary)
+    out.write("blessed %d units into %s\n"
+              % (summary["totals"]["units"], baseline))
+    return 0
+
+
+def _check(args, out):
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = load_summary(baseline_path)
+    config = AtlasConfig.from_dict(baseline.get("config") or {},
+                                   **_overrides(args))
+    result = run_atlas(config, workers=args.workers)
+    current = build_summary(result)
+    tolerances = parse_tolerances(args.tolerance)
+    violations, notes = compare_summaries(baseline, current,
+                                          tolerances=tolerances)
+    for note in notes:
+        out.write("note: %s\n" % note)
+    if violations:
+        for line in format_violations(violations):
+            out.write(line + "\n")
+        out.write("atlas check FAILED: %d regression(s) against %s\n"
+                  % (len(violations), baseline_path))
+        return 1
+    out.write("atlas check passed: %d units within tolerance of %s\n"
+              % (len(current["units"]), baseline_path))
+    return 0
+
+
+def atlas_main(args, out):
+    """Dispatch one ``repro atlas`` invocation; returns the exit code."""
+    if args.action == "run":
+        return _run(args, out)
+    if args.action == "bless":
+        return _bless(args, out)
+    if args.action == "check":
+        return _check(args, out)
+    raise AssertionError("unhandled atlas action %r" % args.action)

@@ -1,0 +1,169 @@
+"""Baseline-diff gate: fail CI on silent robustness regressions.
+
+``repro atlas check --baseline FILE`` re-runs the atlas at the
+baseline's embedded config and compares the fresh summary against the
+committed one, per unit, per metric, with direction-aware tolerances:
+
+* ``mso`` / ``aso`` / ``regret_p50`` / ``regret_p90`` / ``regret_p99``
+  -- higher is worse; fail when the current value exceeds the baseline
+  by more than the relative tolerance;
+* ``degraded`` -- higher is worse; absolute tolerance (default 0:
+  a single new degraded location fails the gate);
+* ``bound_slack`` (guarantee minus empirical MSO) -- *lower* is worse;
+  fail when the margin shrinks by more than the tolerance.
+
+Units missing from the current run are regressions (coverage loss);
+units the baseline has never seen, and config drift generally, are
+*notes*, not failures -- a deliberately widened atlas should not fail
+its own gate, and the injection tests rely on override-driven drift
+being reported but not short-circuited.
+
+Improvements never fail the gate. They show up in the diff the next
+``repro atlas bless`` commits, which is the intended ratchet.
+"""
+
+from repro.common.errors import DiscoveryError
+
+#: metric -> tolerance. Ratio metrics are relative (0.05 = +5%);
+#: ``degraded`` is an absolute count; ``bound_slack`` is relative to
+#: ``max(|baseline|, 1)`` so near-zero margins still get an absolute
+#: floor.
+DEFAULT_TOLERANCES = {
+    "mso": 0.05,
+    "aso": 0.05,
+    "regret_p50": 0.05,
+    "regret_p90": 0.05,
+    "regret_p99": 0.05,
+    "degraded": 0.0,
+    "bound_slack": 0.05,
+}
+
+#: Float-noise epsilon on every limit: the gate must never fire on
+#: representation jitter when the tolerance is zero.
+_EPS = 1e-9
+
+_RATIO_METRICS = ("mso", "aso", "regret_p50", "regret_p90",
+                  "regret_p99")
+
+
+def parse_tolerances(items):
+    """``["mso=0.1", "degraded=2"]`` -> tolerance dict overlaying the
+    defaults; unknown metrics are refused."""
+    tolerances = dict(DEFAULT_TOLERANCES)
+    for item in items or ():
+        metric, eq, value = str(item).partition("=")
+        metric = metric.strip()
+        if not eq or metric not in tolerances:
+            raise DiscoveryError(
+                "tolerance must look like <metric>=<value> with metric "
+                "one of %s, got %r"
+                % (", ".join(sorted(tolerances)), item))
+        try:
+            tolerances[metric] = float(value)
+        except ValueError:
+            raise DiscoveryError(
+                "tolerance value must be numeric, got %r" % (value,)
+            ) from None
+    return tolerances
+
+
+def _violation(key, record, metric, baseline, current, limit):
+    return {
+        "unit": key,
+        "suite": record.get("suite", "?"),
+        "query": record.get("query", key),
+        "algorithm": record.get("algorithm", "?"),
+        "metric": metric,
+        "baseline": baseline,
+        "current": current,
+        "limit": limit,
+    }
+
+
+def _check_metric(key, base_record, current_record, metric, tolerance):
+    baseline = base_record.get(metric)
+    current = current_record.get(metric)
+    if baseline is None or current is None:
+        # A guarantee appearing or vanishing is config-shaped drift,
+        # not a measured regression; the caller notes it.
+        return None
+    if metric == "degraded":
+        limit = baseline + tolerance + _EPS
+        if current > limit:
+            return _violation(key, base_record, metric, baseline,
+                              current, limit)
+        return None
+    if metric == "bound_slack":
+        limit = baseline - tolerance * max(abs(baseline), 1.0) - _EPS
+        if current < limit:
+            return _violation(key, base_record, metric, baseline,
+                              current, limit)
+        return None
+    # Ratio metrics: relative headroom above the baseline.
+    limit = baseline + tolerance * max(abs(baseline), 1.0) + _EPS
+    if current > limit:
+        return _violation(key, base_record, metric, baseline, current,
+                          limit)
+    return None
+
+
+def compare_summaries(baseline, current, tolerances=None):
+    """Diff two summaries; returns ``(violations, notes)``.
+
+    ``violations`` is a list of per-(unit, metric) regression records
+    naming suite, query, algorithm and metric; ``notes`` is a list of
+    human-readable strings for non-failing drift (new units, config
+    changes, guarantee presence changes).
+    """
+    tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    violations = []
+    notes = []
+    base_config = baseline.get("config") or {}
+    current_config = current.get("config") or {}
+    for field in sorted(set(base_config) | set(current_config)):
+        if base_config.get(field) != current_config.get(field):
+            notes.append("config drift: %s %r -> %r"
+                         % (field, base_config.get(field),
+                            current_config.get(field)))
+    base_units = baseline.get("units") or {}
+    current_units = current.get("units") or {}
+    for key in sorted(base_units):
+        record = base_units[key]
+        fresh = current_units.get(key)
+        if fresh is None:
+            violations.append(_violation(
+                key, record, "missing", "present", "absent", None))
+            continue
+        for metric in sorted(tolerances):
+            if (record.get(metric) is None) != \
+                    (fresh.get(metric) is None):
+                notes.append("unit %s: %s %s a value"
+                             % (key, metric,
+                                "lost" if fresh.get(metric) is None
+                                else "gained"))
+                continue
+            violation = _check_metric(key, record, fresh, metric,
+                                      tolerances[metric])
+            if violation is not None:
+                violations.append(violation)
+    for key in sorted(set(current_units) - set(base_units)):
+        notes.append("new unit not in baseline: %s" % key)
+    return violations, notes
+
+
+def format_violations(violations):
+    """One gate-report line per regression, CI-log friendly."""
+    lines = []
+    for v in violations:
+        if v["metric"] == "missing":
+            lines.append(
+                "REGRESSION suite=%s query=%s algorithm=%s unit=%s: "
+                "unit missing from current run"
+                % (v["suite"], v["query"], v["algorithm"], v["unit"]))
+            continue
+        lines.append(
+            "REGRESSION suite=%s query=%s algorithm=%s metric=%s: "
+            "baseline=%.6g current=%.6g limit=%.6g"
+            % (v["suite"], v["query"], v["algorithm"], v["metric"],
+               v["baseline"], v["current"], v["limit"]))
+    return lines

@@ -1,0 +1,209 @@
+"""Self-contained static HTML report for one atlas run.
+
+One file, no external assets: inline CSS, inline SVG (the repo's
+dependency-free :mod:`repro.viz.svg` renderers), tables assembled by
+string concatenation. Sections:
+
+* run configuration and suite-level rollups;
+* per-(resolution, regime) MSO heatmaps (skeletons x algorithms);
+* the full per-unit metric table;
+* worst-location exhibits for 2D units: iso-cost contour overlay,
+  the discovery run's Manhattan profile, and the budget trajectory
+  extracted from the run's trace.
+
+The report is a *view* of the canonical summary plus optional
+exhibits -- nothing here feeds back into the summary or the gate, so
+rendering cost and layout churn never threaten byte-determinism.
+"""
+
+from repro.atlas.summary import METRICS
+from repro.obs.report import trajectory
+from repro.viz.svg import (
+    render_contour_svg,
+    render_heatmap_svg,
+    render_trace_svg,
+)
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2em auto; max-width: 72em; color: #1a1a1a; }
+h1, h2, h3 { font-weight: 600; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.85em; }
+th, td { border: 1px solid #d0d0d0; padding: 3px 8px;
+         text-align: right; }
+th { background: #f2f2f2; }
+td.name, th.name { text-align: left; }
+.exhibit { margin: 1.5em 0; padding: 1em; border: 1px solid #e0e0e0; }
+.note { color: #666666; font-size: 0.85em; }
+"""
+
+
+def _escape(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _table(headers, rows, name_columns=1):
+    parts = ["<table><tr>"]
+    for i, header in enumerate(headers):
+        cls = ' class="name"' if i < name_columns else ""
+        parts.append("<th%s>%s</th>" % (cls, _escape(header)))
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="name"' if i < name_columns else ""
+            parts.append("<td%s>%s</td>" % (cls, _escape(_fmt(cell))))
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _config_section(summary):
+    config = summary.get("config") or {}
+    rows = [(key, ", ".join(str(v) for v in value)
+             if isinstance(value, list) else value)
+            for key, value in sorted(config.items())]
+    return "<h2>Configuration</h2>" + _table(("field", "value"), rows)
+
+
+def _suite_section(summary):
+    suites = summary.get("suites") or {}
+    headers = ("suite", "units", "locations", "MSO worst", "MSO mean",
+               "ASO mean", "regret p90 worst", "degraded",
+               "bound slack min")
+    rows = []
+    for name in sorted(suites):
+        agg = suites[name]
+        rows.append((name, agg["units"], agg["locations"],
+                     agg["mso_worst"], agg["mso_mean"], agg["aso_mean"],
+                     agg["regret_p90_worst"], agg["degraded"],
+                     agg["bound_slack_min"]))
+    totals = summary.get("totals")
+    if totals:
+        rows.append(("TOTAL", totals["units"], totals["locations"],
+                     totals["mso_worst"], totals["mso_mean"],
+                     totals["aso_mean"], totals["regret_p90_worst"],
+                     totals["degraded"], totals["bound_slack_min"]))
+    return "<h2>Suites</h2>" + _table(headers, rows)
+
+
+def _heatmap_section(summary):
+    units = summary.get("units") or {}
+    cells = {}
+    skeletons, regimes, resolutions, algorithms = [], [], [], []
+    for key in sorted(units):
+        record = units[key]
+        axis = (record["resolution"], record["regime"])
+        cells.setdefault(axis, {})[
+            (record["skeleton"], record["algorithm"])] = record["mso"]
+        for seq, value in ((skeletons, record["skeleton"]),
+                           (regimes, record["regime"]),
+                           (resolutions, record["resolution"]),
+                           (algorithms, record["algorithm"])):
+            if value not in seq:
+                seq.append(value)
+    parts = ["<h2>MSO heatmaps</h2>",
+             '<p class="note">Empirical MSO per skeleton and '
+             "algorithm, one panel per (resolution, regime); "
+             "log-shaded.</p>"]
+    for resolution in resolutions:
+        for regime in regimes:
+            panel = cells.get((resolution, regime))
+            if not panel:
+                continue
+            matrix = [[panel.get((skeleton, algorithm))
+                       for algorithm in algorithms]
+                      for skeleton in skeletons]
+            parts.append(render_heatmap_svg(
+                matrix, skeletons, algorithms,
+                title="resolution %d / %s" % (resolution, regime)))
+    return "".join(parts)
+
+
+def _unit_section(summary):
+    units = summary.get("units") or {}
+    headers = ("unit", "suite", "regime") + METRICS + ("guarantee",
+                                                       "locations")
+    rows = []
+    for key in sorted(units):
+        record = units[key]
+        rows.append((key, record["suite"], record["regime"])
+                    + tuple(record[m] for m in METRICS)
+                    + (record["guarantee"], record["locations"]))
+    return "<h2>Units</h2>" + _table(headers, rows, name_columns=3)
+
+
+def _exhibit_section(result):
+    exhibits = [unit for unit in result.units
+                if unit.exhibit is not None]
+    if not exhibits:
+        return ""
+    parts = ["<h2>Worst-location exhibits</h2>",
+             '<p class="note">For 2D units: iso-cost contours, the '
+             "discovery run replayed at the sweep's worst location, "
+             "and its budget trajectory.</p>"]
+    for unit in exhibits:
+        exhibit = unit.exhibit
+        run = exhibit["result"]
+        parts.append('<div class="exhibit"><h3>%s</h3>'
+                     % _escape(unit.key))
+        parts.append(render_contour_svg(
+            exhibit["space"], exhibit["contours"],
+            title="contours: %s" % unit.query_name))
+        parts.append(render_trace_svg(
+            exhibit["space"], exhibit["contours"], run,
+            title="%s at worst qa=%s, subopt %.2f"
+            % (unit.algorithm, run.qa_index, run.sub_optimality)))
+        points = trajectory(exhibit["records"])
+        parts.append(_table(
+            ("step", "contour", "plan", "mode", "epp", "spend",
+             "cumulative"),
+            [(p["step"], p["contour"], p["plan"], p["mode"],
+              p["epp"], p["spend"], p["cumulative"])
+             for p in points]))
+        parts.append("</div>")
+    return "".join(parts)
+
+
+def render_atlas_html(summary, result=None, stats=None):
+    """The full report document as one HTML string.
+
+    ``summary`` is the canonical payload; ``result`` (optional) adds
+    the exhibit figures; ``stats`` (optional) appends the volatile
+    reuse/journal sidecar for humans.
+    """
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">",
+        "<title>Robustness atlas</title>",
+        "<style>%s</style></head><body>" % _STYLE,
+        "<h1>Robustness atlas</h1>",
+        '<p class="note">Canonical summary schema: %s</p>'
+        % _escape(summary.get("schema", "?")),
+        _config_section(summary),
+        _suite_section(summary),
+        _heatmap_section(summary),
+        _unit_section(summary),
+    ]
+    if result is not None:
+        parts.append(_exhibit_section(result))
+    if stats:
+        reuse = stats.get("reuse") or {}
+        parts.append("<h2>Reuse (volatile)</h2>"
+                     + _table(("counter", "value"),
+                              sorted(reuse.items())))
+        journal = stats.get("journal")
+        if journal:
+            parts.append("<h3>Journal</h3>"
+                         + _table(("counter", "value"),
+                                  sorted(journal.items())))
+    parts.append("</body></html>\n")
+    return "".join(parts)

@@ -1,0 +1,120 @@
+"""Canonical atlas summary: the machine-readable, diffable artifact.
+
+One JSON document per atlas run, with three layers:
+
+* ``units`` -- per (resolution, workload, algorithm) cell: empirical
+  MSO/ASO, regret quantiles (sub-optimality minus one, so a perfect
+  oracle scores 0), degradation counts and the slack between the
+  a-priori MSO guarantee and the empirical maximum;
+* ``suites`` -- per benchmark suite aggregates over those cells;
+* ``totals`` -- the same aggregates over everything.
+
+Byte-determinism is the design point (DESIGN.md §14): the payload is
+serialised as canonical JSON (sorted keys, compact separators, floats
+in shortest-exact ``repr`` form -- the WAL's convention), aggregation
+folds run in sorted unit-key order, and nothing volatile (timestamps,
+cache counters, journal stats, hostnames) is admitted. Re-running
+``repro atlas bless`` at a pinned seed must reproduce the committed
+baseline bit-for-bit, serial or ``--workers N``.
+"""
+
+import json
+import math
+
+import numpy as np
+
+from repro.common.atomicio import atomic_write_text
+
+#: Format version; bump on any change to the payload shape.
+SCHEMA = "repro-atlas/v1"
+
+#: Metric keys the gate may compare, in report order.
+METRICS = ("mso", "aso", "regret_p50", "regret_p90", "regret_p99",
+           "degraded", "bound_slack")
+
+
+def unit_metrics(unit):
+    """The canonical metric record of one :class:`AtlasUnit`."""
+    values = np.asarray(unit.sweep.sub_optimalities, dtype=float).ravel()
+    regret = values - 1.0
+    p50, p90, p99 = (float(q) for q in
+                     np.quantile(regret, (0.5, 0.9, 0.99)))
+    mso = float(values.max())
+    payload = {
+        "suite": unit.suite,
+        "skeleton": unit.skeleton,
+        "regime": unit.regime,
+        "resolution": int(unit.resolution),
+        "query": unit.query_name,
+        "algorithm": unit.algorithm,
+        "locations": int(values.size),
+        "mso": mso,
+        "aso": float(values.mean()),
+        "regret_p50": p50,
+        "regret_p90": p90,
+        "regret_p99": p99,
+        "degraded": int(unit.sweep.extras.get("degraded") or 0),
+        "guarantee": unit.guarantee,
+        "bound_slack": None if unit.guarantee is None
+        else float(unit.guarantee - mso),
+    }
+    return payload
+
+
+def _aggregate(metric_records):
+    """Suite/total rollup of unit metric records (callers pass them in
+    sorted unit-key order, which fixes the float fold order)."""
+    msos = [m["mso"] for m in metric_records]
+    slacks = [m["bound_slack"] for m in metric_records
+              if m["bound_slack"] is not None]
+    return {
+        "units": len(metric_records),
+        "locations": sum(m["locations"] for m in metric_records),
+        "mso_worst": max(msos),
+        "mso_mean": math.fsum(msos) / len(msos),
+        "aso_mean": math.fsum(m["aso"] for m in metric_records)
+        / len(metric_records),
+        "regret_p90_worst": max(m["regret_p90"]
+                                for m in metric_records),
+        "degraded": sum(m["degraded"] for m in metric_records),
+        "bound_slack_min": min(slacks) if slacks else None,
+    }
+
+
+def build_summary(result):
+    """The canonical summary payload of one :class:`AtlasResult`."""
+    units = {unit.key: unit_metrics(unit) for unit in result.units}
+    ordered = [units[key] for key in sorted(units)]
+    by_suite = {}
+    for record in ordered:
+        by_suite.setdefault(record["suite"], []).append(record)
+    suites = {name: _aggregate(records)
+              for name, records in sorted(by_suite.items())}
+    return {
+        "schema": SCHEMA,
+        "config": result.config.to_dict(),
+        "units": units,
+        "suites": suites,
+        "totals": _aggregate(ordered),
+    }
+
+
+def canonical_json(payload):
+    """Canonical JSON text: sorted keys, compact separators, trailing
+    newline, NaN/Infinity refused (they would break re-parsing)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False) + "\n"
+
+
+def write_summary(path, payload):
+    """Install ``payload`` at ``path`` atomically, canonically."""
+    atomic_write_text(path, canonical_json(payload))
+
+
+def load_summary(path):
+    """Read a summary (or baseline) back; shape-checks the schema."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "units" not in payload:
+        raise ValueError("%s is not an atlas summary" % path)
+    return payload

@@ -213,6 +213,51 @@ def build_parser():
                         "fault schedules")
     _add_data_arguments(p)
 
+    p = sub.add_parser("atlas",
+                       help="workload-scale robustness atlas: run, "
+                            "bless the baseline, or gate against it")
+    p.add_argument("action", choices=("run", "bless", "check"),
+                   help="'run' writes summary+stats+HTML into --out; "
+                        "'bless' regenerates the committed baseline; "
+                        "'check' re-runs at the baseline's config and "
+                        "fails on metric regressions")
+    p.add_argument("--out", default="atlas_out", metavar="DIR",
+                   help="output directory for 'run' (journal, summary, "
+                        "stats, HTML report)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline summary path (default "
+                        "baselines/atlas_summary.json)")
+    p.add_argument("--queries", default=None,
+                   help="comma-separated skeleton names")
+    p.add_argument("--regimes", default=None,
+                   help="comma-separated regimes out of baseline, "
+                        "uniform-noise, correlated-skew, tail-blowup")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated algorithm names")
+    p.add_argument("--resolutions", default=None,
+                   help="comma-separated grid resolutions")
+    p.add_argument("--seed", type=int, default=None,
+                   help="atlas seed: regime instances and sampled "
+                        "sweeps derive from it")
+    p.add_argument("--sample", type=int, default=None,
+                   help="cap swept locations per unit")
+    p.add_argument("--ratio", type=float, default=None,
+                   help="contour ladder ratio override")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="process-pool width per sweep; the summary is "
+                        "byte-identical to a serial run")
+    p.add_argument("--resume", action="store_true",
+                   help="replay committed units from --out's journal "
+                        "and run only the rest")
+    p.add_argument("--tolerance", action="append", default=None,
+                   metavar="METRIC=VALUE",
+                   help="gate tolerance override for 'check' "
+                        "(repeatable), e.g. --tolerance mso=0.1")
+    p.add_argument("--no-html", action="store_true",
+                   help="skip the HTML report for 'run'")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-unit progress during 'run'")
+
     p = sub.add_parser("trace", help="inspect a recorded discovery trace")
     p.add_argument("action", choices=("show",),
                    help="'show' renders the timeline, budget waterfall "
@@ -344,6 +389,9 @@ def _durable_sweep(out, session, query, space, algorithms, args):
          "reasons"], rows,
         title="Empirical robustness for %s (%d locations)" %
               (query.name, space.grid.size)) + "\n")
+    out.write(format_table(
+        ["counter", "value"], sorted(driver.reuse_summary().items()),
+        title="Artifact reuse (session cache + plan bank)") + "\n")
     stats = driver.journal_stats
     if stats is not None:
         out.write("journal: %d unit(s) replayed, %d executed, "
@@ -489,7 +537,16 @@ def main(argv=None):
             ["algorithm", "MSOg", "MSOe", "ASO"], rows,
             title="Empirical robustness for %s (%d locations)" %
                   (query.name, space.grid.size)) + "\n")
+        from repro.session.sweep import session_reuse_summary
+        out.write(format_table(
+            ["counter", "value"],
+            sorted(session_reuse_summary(session).items()),
+            title="Artifact reuse (session cache + plan bank)") + "\n")
         return 0
+
+    if args.command == "atlas":
+        from repro.atlas.cli import atlas_main
+        return atlas_main(args, out)
 
     if args.command == "trace":
         from repro.obs import read_trace, render_trace_report

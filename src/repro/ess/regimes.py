@@ -1,0 +1,302 @@
+"""Seeded q-error regime workloads over the synthetic ESS interface.
+
+The 2026 q-error landscape study (PAPERS.md) shows that robustness
+conclusions flip across qualitatively different cardinality-error
+regimes: an algorithm that looks bulletproof when estimation errors are
+uniformly spread can degrade badly when errors correlate across joins
+or blow up in the selectivity tail. A single synthetic grid shape --
+the repo's ``textbook_space`` -- therefore proves nothing at workload
+scale; the atlas has to sweep *regimes*.
+
+This module generates those regimes as :class:`SyntheticSpace`
+instances (PCM-valid by construction, validated at build time), one per
+``(skeleton, regime, seed)`` triple:
+
+``uniform-noise``
+    Per-plan cost coefficients drawn independently and uniformly: the
+    plan-to-plan cost ratio (the q-error analogue on the cost surface)
+    stays within a moderate, roughly constant band everywhere in the
+    space. The benign landscape.
+``correlated-skew``
+    One latent skew direction is drawn per instance and every plan's
+    sensitivity is a mixture of that shared direction and its own draw,
+    so errors *correlate* across dimensions: plans aligned with the
+    skew stay cheap together and misaligned plans degrade together.
+``tail-blowup``
+    Each plan carries a heavy super-linear tail term on one dimension,
+    with log-normally distributed magnitudes: costs near the origin are
+    ordinary while the high-selectivity corner blows up by orders of
+    magnitude, concentrating all the regret in the tail.
+
+Regime workloads are first-class workload names. ``"<base>@<regime>"``
+or ``"<base>@<regime>#<seed>"`` (seed defaults to 0) resolves through
+:func:`repro.harness.workloads.workload`, so every sweep, journal,
+parallel worker and atlas unit can name one::
+
+    repro sweep 2D_Q91@tail-blowup#3 --resolution 8
+
+The generated space takes only its *dimensionality* from the base
+skeleton -- the regime replaces the optimizer's cost surfaces wholesale,
+which is the point: same query shape, different error landscape.
+
+Determinism contract: the instance is a pure function of
+``(regime, seed, dims, skeleton)`` (grid geometry aside), generated
+from ``numpy.random.default_rng((ordinal, seed, dims, crc32(name)))``
+-- reproducible in any process, independent of ``PYTHONHASHSEED``,
+never re-seeded from global state. The skeleton-name salt keeps two
+same-dimensional skeletons from drawing the *same* instance, so an
+atlas over many skeletons measures distinct landscapes.
+:class:`RegimeQuery` itself carries only scalars, so it pickles across
+process boundaries and parallel sweep workers rebuild the identical
+space.
+"""
+
+import zlib
+
+import numpy as np
+
+from repro.common.errors import DiscoveryError
+from repro.ess.space import default_resolution
+from repro.ess.synthetic import SyntheticPlan, SyntheticSpace
+
+#: The three q-error regimes, in canonical order.
+REGIMES = ("uniform-noise", "correlated-skew", "tail-blowup")
+
+#: Stable per-regime seed salt (never reordered; append only).
+_ORDINALS = {regime: i + 1 for i, regime in enumerate(REGIMES)}
+
+#: Baseline cost scale shared by every generated plan.
+_BASE = 1000.0
+
+
+class _RegimeCatalog:
+    """Catalog stand-in so :class:`RegimeQuery` satisfies the cache's
+    ``SpaceKey`` contract (picklable, name-only)."""
+
+    name = "q-error-regimes"
+
+
+class RegimeQuery:
+    """A regime-qualified workload: a skeleton's shape, a regime's costs.
+
+    Carries only scalars (base skeleton name, dimensionality, regime,
+    seed), so it crosses process boundaries by pickle; the synthetic
+    space is rebuilt deterministically wherever it is needed via
+    :meth:`build_space` -- the duck-typed hook
+    :meth:`repro.session.session.RobustSession._builder` looks for.
+    """
+
+    __slots__ = ("base", "regime", "seed", "epps")
+
+    def __init__(self, base, dims, regime, seed=0):
+        if regime not in _ORDINALS:
+            raise DiscoveryError(
+                "unknown q-error regime %r (known: %s)"
+                % (regime, ", ".join(REGIMES)))
+        dims = int(dims)
+        if dims < 1:
+            raise DiscoveryError("regime workloads need dims >= 1")
+        self.base = base
+        self.regime = regime
+        self.seed = int(seed)
+        self.epps = tuple("e%d" % (d + 1) for d in range(dims))
+
+    @property
+    def name(self):
+        suffix = "" if self.seed == 0 else "#%d" % self.seed
+        return "%s@%s%s" % (self.base, self.regime, suffix)
+
+    @property
+    def dimensions(self):
+        return len(self.epps)
+
+    #: SpaceKey fields: regime spaces are synthetic, so the relation
+    #: set degenerates to the base skeleton's name and one catalog.
+    @property
+    def tables(self):
+        return (self.base,)
+
+    catalog = _RegimeCatalog()
+
+    def epp_index(self, name):
+        try:
+            return self.epps.index(name)
+        except ValueError:
+            raise DiscoveryError(
+                "%r is not an epp of %s" % (name, self.name)) from None
+
+    def build_space(self, resolution=None, s_min=None, rng=0):
+        """Build the regime's synthetic space (``rng`` is ignored: the
+        instance is fully determined by the workload name)."""
+        return regime_space(
+            self.dimensions, self.regime, seed=self.seed,
+            resolution=resolution, s_min=s_min, name=self.name,
+            salt=self.base)
+
+    def __eq__(self, other):
+        return isinstance(other, RegimeQuery) and \
+            (self.base, self.regime, self.seed, self.epps) == \
+            (other.base, other.regime, other.seed, other.epps)
+
+    def __hash__(self):
+        return hash((self.base, self.regime, self.seed, self.epps))
+
+    def __repr__(self):
+        return "RegimeQuery(%s, D=%d)" % (self.name, self.dimensions)
+
+
+def split_regime_name(name):
+    """``"4D_Q7@tail-blowup#3"`` -> ``("4D_Q7", "tail-blowup", 3)``.
+
+    Returns ``None`` for names without the ``@`` qualifier; raises for
+    qualified names that do not parse (bad regime names are caught by
+    the :class:`RegimeQuery` constructor downstream).
+    """
+    if "@" not in name:
+        return None
+    base, _at, rest = name.partition("@")
+    regime, hash_, seed_text = rest.partition("#")
+    if not base or not regime:
+        raise DiscoveryError(
+            "regime workload names look like '<base>@<regime>[#seed]', "
+            "got %r" % name)
+    if not hash_:
+        return base, regime, 0
+    try:
+        return base, regime, int(seed_text)
+    except ValueError:
+        raise DiscoveryError(
+            "regime workload seed must be an integer, got %r in %r"
+            % (seed_text, name)) from None
+
+
+# ----------------------------------------------------------------------
+# generation
+
+
+def _rng(regime, seed, dims, salt=""):
+    """Seed sequence of one regime instance. The ``salt`` (the base
+    skeleton's name) goes through CRC32 so it is stable across
+    processes and independent of ``PYTHONHASHSEED``."""
+    return np.random.default_rng(
+        (_ORDINALS[regime], int(seed), int(dims),
+         zlib.crc32(str(salt).encode("utf-8"))))
+
+
+def _spill_order(rng, dims, plan_id):
+    """Seeded spill precedence for one plan (a permutation, so every
+    dimension stays learnable and discovery order varies per plan)."""
+    return tuple(int(d) for d in rng.permutation(dims))
+
+
+def _uniform_noise_plans(rng, dims, count):
+    plans = []
+    for p in range(count):
+        a0 = float(rng.uniform(1.0, 2.0))
+        linear = rng.uniform(50.0, 900.0, size=dims)
+        cross = float(rng.uniform(500.0, 4000.0))
+
+        def cost_fn(*sels, _a0=a0, _lin=tuple(float(a) for a in linear),
+                    _cross=cross):
+            total = _a0
+            prod = 1.0
+            for coeff, s in zip(_lin, sels):
+                total = total + coeff * s
+                prod = prod * s
+            return _BASE * (total + _cross * prod)
+
+        plans.append(SyntheticPlan("u%d" % (p + 1), cost_fn,
+                                   spill_dims=_spill_order(rng, dims, p)))
+    return plans
+
+
+def _correlated_skew_plans(rng, dims, count):
+    # One latent skew direction per instance; every plan mixes it with
+    # its own independent draw, so sensitivities correlate across both
+    # dimensions and plans.
+    latent = rng.exponential(1.0, size=dims) + 0.05
+    latent = latent / latent.sum()
+    plans = []
+    for p in range(count):
+        a0 = float(rng.uniform(1.0, 2.5))
+        own = rng.uniform(0.1, 1.0, size=dims)
+        mix = float(rng.uniform(0.3, 0.95))
+        weights = mix * latent * dims + (1.0 - mix) * own
+        linear = 60.0 + 1400.0 * weights
+        cross = float(rng.uniform(300.0, 2500.0)) * (0.5 + mix)
+
+        def cost_fn(*sels, _a0=a0, _lin=tuple(float(a) for a in linear),
+                    _cross=cross):
+            total = _a0
+            prod = 1.0
+            for coeff, s in zip(_lin, sels):
+                total = total + coeff * s
+                prod = prod * s
+            return _BASE * (total + _cross * prod)
+
+        plans.append(SyntheticPlan("c%d" % (p + 1), cost_fn,
+                                   spill_dims=_spill_order(rng, dims, p)))
+    return plans
+
+
+def _tail_blowup_plans(rng, dims, count):
+    plans = []
+    for p in range(count):
+        a0 = float(rng.uniform(1.0, 2.0))
+        linear = rng.uniform(40.0, 400.0, size=dims)
+        tail_dim = int(rng.integers(dims))
+        power = int(rng.integers(2, 4))
+        # Log-normal tail magnitude: most plans blow up by ~1-2 orders
+        # of magnitude at the corner, a few by much more.
+        tail = float(np.exp(rng.normal(9.0, 1.0)))
+
+        def cost_fn(*sels, _a0=a0, _lin=tuple(float(a) for a in linear),
+                    _dim=tail_dim, _pow=power, _tail=tail):
+            total = _a0
+            prod = 1.0
+            for coeff, s in zip(_lin, sels):
+                total = total + coeff * s
+                prod = prod * s
+            return _BASE * (total + _tail * (sels[_dim] ** _pow) * prod)
+
+        plans.append(SyntheticPlan("t%d" % (p + 1), cost_fn,
+                                   spill_dims=_spill_order(rng, dims, p)))
+    return plans
+
+
+_GENERATORS = {
+    "uniform-noise": _uniform_noise_plans,
+    "correlated-skew": _correlated_skew_plans,
+    "tail-blowup": _tail_blowup_plans,
+}
+
+
+def regime_space(dims, regime, seed=0, resolution=None, s_min=None,
+                 plans=None, name=None, salt=""):
+    """Build one regime instance as a PCM-validated synthetic space.
+
+    ``resolution=None`` normalises to the per-dimensionality default
+    (the same rule :class:`~repro.session.cache.SpaceKey` applies, so
+    cache keys and build outputs agree). Every term of every generated
+    cost function has a strictly positive coefficient on every
+    dimension, so PCM holds by construction -- and is still validated
+    by :class:`SyntheticSpace` on every build, because the generator,
+    not the caller, is the thing under test.
+    """
+    if regime not in _GENERATORS:
+        raise DiscoveryError(
+            "unknown q-error regime %r (known: %s)"
+            % (regime, ", ".join(REGIMES)))
+    dims = int(dims)
+    if resolution is None:
+        resolution = default_resolution(dims)
+    if s_min is None:
+        s_min = 1e-3
+    rng = _rng(regime, seed, dims, salt=salt)
+    count = plans if plans is not None else dims + 2
+    specs = _GENERATORS[regime](rng, dims, count)
+    space = SyntheticSpace(dims, specs, resolution=int(resolution),
+                           s_min=float(s_min), validate_pcm=True,
+                           name=name or "%dd@%s#%d" % (dims, regime,
+                                                       int(seed)))
+    return space

@@ -103,9 +103,13 @@ class SyntheticPlan:
 class SyntheticSpace:
     """An ExplorationSpace-compatible object over synthetic plans."""
 
+    #: Synthetic surfaces are closures, not catalog-derived arrays; the
+    #: artifact cache's disk tier must skip them (memory tier is fine).
+    persistable = False
+
     def __init__(self, dims, plans, resolution=16, s_min=1e-4,
-                 grid=None, validate_pcm=True):
-        self.query = _SyntheticQuery(dims)
+                 grid=None, validate_pcm=True, name="synthetic"):
+        self.query = _SyntheticQuery(dims, name=name)
         self.grid = grid or SelectivityGrid(dims, resolution, s_min=s_min)
         self.cost_model = _SyntheticCostModel(self.query)
         self.plans = []

@@ -338,14 +338,93 @@ PAPER_SUITE = (
     "5D_Q19", "5D_Q29", "5D_Q84", "6D_Q18", "6D_Q91",
 )
 
+#: The JOB skeletons (paper §6.5).
+JOB_SUITE = ("3D_JOB1a", "4D_JOB1a")
 
-def workload(name):
-    """Build the query registered under ``name`` (e.g. ``"4D_Q91"``)."""
+
+def all_workloads():
+    """``{name: builder}`` across every registered suite (TPC-DS/JOB
+    plus the TPC-H bonus skeletons) -- the atlas's enumeration surface
+    and the ``repro list`` inventory."""
+    from repro.harness.tpch_workloads import _BUILDERS as _TPCH
+    merged = dict(_BUILDERS)
+    merged.update(_TPCH)
+    return merged
+
+
+def suites():
+    """``{suite name: ordered workload names}`` for every benchmark
+    suite the atlas sweeps."""
+    from repro.harness.tpch_workloads import TPCH_SUITE
+    return {
+        "tpch": tuple(TPCH_SUITE),
+        "tpcds": tuple(PAPER_SUITE),
+        "job": tuple(JOB_SUITE),
+    }
+
+
+def suite(name):
+    """The ordered workload names of one suite (``tpch``/``tpcds``/
+    ``job``)."""
     try:
-        builder = _BUILDERS[name]
+        return suites()[name]
     except KeyError:
         raise KeyError(
-            "unknown workload %r (known: %s)" % (name, sorted(_BUILDERS))
+            "unknown suite %r (known: %s)" % (name, sorted(suites()))
+        ) from None
+
+
+#: Catalog-name prefix -> suite, for registered skeletons that sit
+#: outside the headline tuples (e.g. the 2D/3D/5D Q91 ramp entries).
+_CATALOG_SUITES = (("tpcds", "tpcds"), ("imdb", "job"), ("tpch", "tpch"))
+
+
+def suite_of(workload_name):
+    """The suite a skeleton belongs to (``"custom"`` when unknown).
+
+    Regime-qualified names resolve through their base skeleton, so
+    ``"2D_Q91@tail-blowup"`` reports ``tpcds``. Registered skeletons
+    outside the headline suite tuples (the Q91 dimensional ramp, say)
+    are attributed by their catalog.
+    """
+    from repro.ess.regimes import split_regime_name
+    parts = split_regime_name(workload_name)
+    if parts is not None:
+        workload_name = parts[0]
+    for suite_name, members in suites().items():
+        if workload_name in members:
+            return suite_name
+    builder = all_workloads().get(workload_name)
+    if builder is not None:
+        catalog_name = builder().catalog.name
+        for prefix, suite_name in _CATALOG_SUITES:
+            if catalog_name.startswith(prefix):
+                return suite_name
+    return "custom"
+
+
+def workload(name):
+    """Build the query registered under ``name``.
+
+    Three name families resolve here: the TPC-DS/JOB registry
+    (``"4D_Q91"``), the TPC-H bonus registry (``"2D_H3"``), and
+    regime-qualified synthetic workloads
+    (``"<base>@<regime>[#seed]"``, e.g. ``"2D_Q91@tail-blowup#3"``)
+    whose dimensionality comes from the base skeleton and whose cost
+    surfaces come from :mod:`repro.ess.regimes`.
+    """
+    from repro.ess.regimes import RegimeQuery, split_regime_name
+    parts = split_regime_name(name)
+    if parts is not None:
+        base_name, regime, seed = parts
+        base = workload(base_name)
+        return RegimeQuery(base.name, base.dimensions, regime, seed)
+    builders = all_workloads()
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (known: %s)" % (name, sorted(builders))
         ) from None
     return builder()
 

@@ -22,6 +22,7 @@ from repro.obs.report import (
     decompose,
     executions,
     render_trace_report,
+    trajectory,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_trace
 
@@ -35,6 +36,7 @@ __all__ = [
     "decompose",
     "executions",
     "render_trace_report",
+    "trajectory",
     "NULL_TRACER",
     "NullTracer",
     "Tracer",

@@ -95,6 +95,36 @@ def decompose(records, run=None):
     return result
 
 
+def trajectory(records, run=None):
+    """The discovery trajectory of one run, as ordered budget points.
+
+    Each execution event becomes one point ``{step, contour, plan,
+    mode, epp, spend, cumulative}``, with ``contour`` 1-based (0 for
+    off-ladder executions) and ``cumulative`` an :func:`math.fsum`
+    prefix of the spends, so the final point's cumulative spend
+    reconciles bitwise with ``RunResult.total_cost``. This is the
+    machine-readable counterpart of the Fig. 7 Manhattan profile: the
+    atlas report renders it per worst-case location to show *how* an
+    algorithm climbed the cost ladder, not just where it ended up.
+    """
+    spends = []
+    points = []
+    for i, event in enumerate(executions(records, run=run), 1):
+        spends.append(float(event.get("spent", 0.0)))
+        contour = event.get("contour", -1)
+        plan = event.get("plan_id")
+        points.append({
+            "step": i,
+            "contour": contour + 1 if contour >= 0 else 0,
+            "plan": plan + 1 if plan is not None and plan >= 0 else None,
+            "mode": event.get("mode", "-"),
+            "epp": event.get("epp"),
+            "spend": spends[-1],
+            "cumulative": math.fsum(spends),
+        })
+    return points
+
+
 def _contour_label(contour):
     return "CC_%d" % contour if contour else "-"
 

@@ -489,7 +489,11 @@ class ArtifactCache:
         because the path is content-addressed -- so a lock timeout
         skips the store instead of failing the build.
         """
-        if self.cache_dir is None:
+        if self.cache_dir is None or \
+                not getattr(space, "persistable", True):
+            # Synthetic/regime spaces are rebuilt from their seeds in
+            # milliseconds and have no npz representation; the memory
+            # tier still caches them.
             return
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self._archive_path(key)

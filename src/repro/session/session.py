@@ -200,6 +200,16 @@ class RobustSession:
 
     def _builder(self, query, resolution, mode, rng, s_min, workers):
         workers = self.workers if workers is None else workers
+        self_building = getattr(query, "build_space", None)
+        if self_building is not None:
+            # Self-building queries (q-error regime workloads) own their
+            # space construction; the session still provides the cache
+            # key, the memory tier and the contour cache around it.
+            def build_synthetic():
+                return self_building(resolution=resolution, s_min=s_min,
+                                     rng=rng)
+
+            return build_synthetic
 
         def build():
             space = ExplorationSpace(query, resolution=resolution,

@@ -79,6 +79,35 @@ def spec_engine_factory(spec, space, database, fault_seed, unit):
     return factory
 
 
+def session_reuse_summary(session):
+    """Reuse counters of ``session``: artifact cache plus plan bank.
+
+    Shared by :meth:`SweepDriver.reuse_summary`, the ``repro sweep``
+    report and the atlas stats sidecar, so every surface quantifies
+    reuse with the same keys. These counters are *volatile* -- they
+    differ between serial and parallel execution (workers warm their
+    own caches) -- which is why the atlas keeps them out of the
+    canonical summary and in a sidecar instead.
+    """
+    stats = session.stats
+    summary = {
+        "space_memory_hits": stats.memory_hits,
+        "space_disk_hits": stats.disk_hits,
+        "space_builds": stats.builds,
+        "contour_hits": stats.contour_hits,
+        "contour_builds": stats.contour_builds,
+    }
+    bank = getattr(session.cache, "bank", None)
+    if bank is not None:
+        summary.update({
+            "surface_hits": bank.stats.surface_hits,
+            "surface_misses": bank.stats.surface_misses,
+            "dp_result_hits": bank.stats.plan_hits,
+            "dp_result_misses": bank.stats.plan_misses,
+        })
+    return summary
+
+
 class SweepRecord:
     """One (query, algorithm) sweep outcome in a driver's stream.
 
@@ -253,23 +282,7 @@ class SweepDriver:
         counters quantify how much of the sweep's work was served from
         that reuse instead of recomputed.
         """
-        stats = self.session.stats
-        summary = {
-            "space_memory_hits": stats.memory_hits,
-            "space_disk_hits": stats.disk_hits,
-            "space_builds": stats.builds,
-            "contour_hits": stats.contour_hits,
-            "contour_builds": stats.contour_builds,
-        }
-        bank = getattr(self.session.cache, "bank", None)
-        if bank is not None:
-            summary.update({
-                "surface_hits": bank.stats.surface_hits,
-                "surface_misses": bank.stats.surface_misses,
-                "dp_result_hits": bank.stats.plan_hits,
-                "dp_result_misses": bank.stats.plan_misses,
-            })
-        return summary
+        return session_reuse_summary(self.session)
 
     def algorithm(self, algorithm, query):
         """Instantiate ``algorithm`` over the cached artifacts."""

@@ -197,6 +197,76 @@ def render_trace_svg(space, contours, result, path=None, title=None):
     return _emit(canvas, path)
 
 
+def _heat_colour(norm):
+    """White -> deep red ramp for heatmap cells (``norm`` in [0, 1])."""
+    norm = min(max(norm, 0.0), 1.0)
+    r = int(255 + (178 - 255) * norm)
+    g = int(245 + (24 - 245) * norm)
+    b = int(240 + (43 - 240) * norm)
+    return "#%02x%02x%02x" % (r, g, b)
+
+
+def render_heatmap_svg(values, row_labels, col_labels, path=None,
+                       title=None, value_format="%.2f"):
+    """Generic annotated matrix heatmap (atlas: queries x algorithms).
+
+    ``values`` is a row-major nested list aligned with ``row_labels`` x
+    ``col_labels``; ``None`` cells render grey. Shading is log-scaled
+    when every value is positive (sub-optimalities span decades),
+    linear otherwise.
+    """
+    rows, cols = len(row_labels), len(col_labels)
+    if rows == 0 or cols == 0:
+        raise DiscoveryError("heatmap needs at least one row and column")
+    present = [v for row in values for v in row if v is not None]
+    if not present:
+        raise DiscoveryError("heatmap needs at least one value")
+    use_log = min(present) > 0
+    scaled = [math.log10(v) if use_log else v for v in present]
+    lo, hi = min(scaled), max(scaled)
+    span = max(hi - lo, 1e-12)
+    cell_w, cell_h = 92, 26
+    left, top, pad = 150, 46, 12
+    width = left + cols * cell_w + pad
+    height = top + rows * cell_h + pad
+    parts = [_HEADER % (width, height, width, height)]
+    parts.append('<rect x="0" y="0" width="%d" height="%d" '
+                 'fill="#ffffff"/>\n' % (width, height))
+    if title:
+        parts.append('<text x="%d" y="%d" font-size="13">%s</text>\n'
+                     % (pad, top - 28, _escape(title)))
+    for c, label in enumerate(col_labels):
+        parts.append('<text x="%g" y="%g" font-size="10" '
+                     'fill="#333333">%s</text>\n'
+                     % (left + c * cell_w + 4, top - 6, _escape(label)))
+    for r, label in enumerate(row_labels):
+        parts.append('<text x="%g" y="%g" font-size="10" '
+                     'fill="#333333">%s</text>\n'
+                     % (pad, top + r * cell_h + 17, _escape(label)))
+        for c in range(cols):
+            value = values[r][c]
+            x, y = left + c * cell_w, top + r * cell_h
+            if value is None:
+                fill, label_text = "#e8e8e8", "-"
+            else:
+                norm = ((math.log10(value) if use_log else value) - lo) \
+                    / span
+                fill = _heat_colour(norm)
+                label_text = value_format % value
+            parts.append(
+                '<rect x="%g" y="%g" width="%g" height="%g" fill="%s" '
+                'stroke="#ffffff"/>\n' % (x, y, cell_w, cell_h, fill))
+            parts.append(
+                '<text x="%g" y="%g" font-size="10" fill="#222222">'
+                '%s</text>\n' % (x + 4, y + 17, _escape(label_text)))
+    parts.append("</svg>\n")
+    document = "".join(parts)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(document)
+    return document
+
+
 def _emit(canvas, path):
     document = canvas.finish()
     if path is not None:

@@ -1,0 +1,178 @@
+"""Seeded q-error regime workloads: PCM validity, naming, determinism.
+
+The regime generator is the atlas's workload multiplier -- every
+(skeleton, regime, seed) triple must yield a PCM-valid synthetic space,
+deterministically, resolvable as a first-class workload name through
+the whole session machinery (cache, sweeps, parallel workers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DiscoveryError
+from repro.ess.regimes import (
+    REGIMES,
+    RegimeQuery,
+    regime_space,
+    split_regime_name,
+)
+from repro.harness.workloads import suite, suite_of, workload
+from repro.session import RobustSession
+
+
+class TestNameParsing:
+    def test_unqualified_name_passes_through(self):
+        assert split_regime_name("4D_Q7") is None
+
+    def test_qualified_name_splits(self):
+        assert split_regime_name("4D_Q7@tail-blowup#3") == \
+            ("4D_Q7", "tail-blowup", 3)
+
+    def test_seed_defaults_to_zero(self):
+        assert split_regime_name("2D_EQ@uniform-noise") == \
+            ("2D_EQ", "uniform-noise", 0)
+
+    def test_bad_seed_refused(self):
+        with pytest.raises(DiscoveryError):
+            split_regime_name("2D_EQ@uniform-noise#x")
+
+    def test_empty_parts_refused(self):
+        with pytest.raises(DiscoveryError):
+            split_regime_name("@uniform-noise")
+
+    def test_name_round_trips(self):
+        for seed in (0, 7):
+            query = RegimeQuery("3D_Q15", 3, "correlated-skew", seed)
+            assert split_regime_name(query.name) == \
+                ("3D_Q15", "correlated-skew", seed)
+
+    def test_unknown_regime_refused_by_constructor(self):
+        with pytest.raises(DiscoveryError):
+            RegimeQuery("3D_Q15", 3, "nonsense")
+
+
+class TestWorkloadResolution:
+    def test_workload_builds_regime_query(self):
+        query = workload("2D_Q91@tail-blowup#3")
+        assert isinstance(query, RegimeQuery)
+        assert query.dimensions == 2
+        assert query.name == "2D_Q91@tail-blowup#3"
+
+    def test_dimensionality_comes_from_base(self):
+        assert workload("3D_Q15@uniform-noise").dimensions == 3
+
+    def test_unknown_base_refused(self):
+        with pytest.raises(KeyError):
+            workload("9D_NOPE@uniform-noise")
+
+    def test_suite_of_resolves_through_base(self):
+        assert suite_of("2D_Q91@tail-blowup#3") == "tpcds"
+        assert suite_of("3D_JOB1a@uniform-noise") == "job"
+        assert suite_of("2D_EQ@correlated-skew") == "tpch"
+        assert suite_of("not-a-workload") == "custom"
+
+    def test_suites_enumerable(self):
+        assert "3D_Q15" in suite("tpcds")
+        assert "2D_EQ" in suite("tpch")
+        assert "3D_JOB1a" in suite("job")
+        with pytest.raises(KeyError):
+            suite("nope")
+
+
+class TestPCMProperty:
+    """Every generated grid must be strictly PCM along every axis --
+    the property the paper's algorithms assume of any cost surface."""
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    @pytest.mark.parametrize("dims", (1, 2, 3))
+    @pytest.mark.parametrize("seed", (0, 1, 17))
+    def test_grids_are_pcm_valid(self, regime, dims, seed):
+        # SyntheticSpace(validate_pcm=True) raises on violation, but
+        # assert the property independently rather than trusting the
+        # builder's own check.
+        space = regime_space(dims, regime, seed=seed, resolution=6)
+        for info in space.plans:
+            for axis in range(dims):
+                assert np.all(np.diff(info.cost, axis=axis) > 0), \
+                    "%s seed=%d plan=%d axis=%d" % (regime, seed,
+                                                    info.id, axis)
+
+    @pytest.mark.parametrize("regime", REGIMES)
+    def test_costs_positive_and_bounded(self, regime):
+        space = regime_space(2, regime, resolution=8)
+        assert space.c_min > 0
+        assert np.isfinite(space.c_max)
+        assert space.c_max > space.c_min
+
+    def test_unknown_regime_refused(self):
+        with pytest.raises(DiscoveryError):
+            regime_space(2, "benign")
+
+
+class TestDeterminism:
+    def test_same_seed_identical_surfaces(self):
+        one = regime_space(2, "tail-blowup", seed=5, resolution=6)
+        two = regime_space(2, "tail-blowup", seed=5, resolution=6)
+        for a, b in zip(one.plans, two.plans):
+            assert np.array_equal(a.cost, b.cost)
+        assert np.array_equal(one.plan_at, two.plan_at)
+
+    def test_different_seeds_differ(self):
+        one = regime_space(2, "tail-blowup", seed=0, resolution=6)
+        two = regime_space(2, "tail-blowup", seed=1, resolution=6)
+        assert not all(np.array_equal(a.cost, b.cost)
+                       for a, b in zip(one.plans, two.plans))
+
+    def test_regimes_differ(self):
+        surfaces = {}
+        for regime in REGIMES:
+            space = regime_space(2, regime, seed=0, resolution=6)
+            surfaces[regime] = space.plans[0].cost
+        assert not np.array_equal(surfaces["uniform-noise"],
+                                  surfaces["tail-blowup"])
+
+    def test_skeleton_salt_distinguishes_instances(self):
+        # Two same-dimensional skeletons must not draw the same
+        # landscape, or an atlas over many skeletons measures one.
+        eq = workload("2D_EQ@tail-blowup").build_space(resolution=6)
+        q91 = workload("2D_Q91@tail-blowup").build_space(resolution=6)
+        assert not np.array_equal(eq.plans[0].cost, q91.plans[0].cost)
+
+    def test_regime_query_pickles(self):
+        import pickle
+        query = workload("2D_Q91@tail-blowup#3")
+        clone = pickle.loads(pickle.dumps(query))
+        assert clone == query
+        assert clone.name == query.name
+        a = query.build_space(resolution=5)
+        b = clone.build_space(resolution=5)
+        assert np.array_equal(a.plans[0].cost, b.plans[0].cost)
+
+
+class TestSessionIntegration:
+    def test_session_builds_and_caches_regime_space(self):
+        session = RobustSession(engine_spec="simulated")
+        name = "2D_Q91@tail-blowup#3"
+        space1, contours = session.space_and_contours(name, resolution=6)
+        space2, _ = session.space_and_contours(name, resolution=6)
+        assert space1 is space2
+        assert session.stats.memory_hits >= 1
+        assert space1.grid.shape == (6, 6)
+        assert len(contours) > 0
+
+    def test_discovery_runs_on_regime_space(self):
+        session = RobustSession(engine_spec="simulated")
+        result = session.run("2D_Q91@tail-blowup#3", qa_index=(3, 2),
+                             algorithm="spillbound", resolution=6)
+        assert result.sub_optimality >= 1.0
+        guarantee = 2 * 2 + 3 * 2  # D^2 + 3D at D=2
+        assert result.sub_optimality <= guarantee
+
+    def test_regime_spaces_not_persisted_to_disk(self, tmp_path):
+        session = RobustSession(cache_dir=str(tmp_path),
+                                engine_spec="simulated")
+        session.space("2D_Q91@uniform-noise", resolution=5)
+        assert not list(tmp_path.glob("*.npz"))
+        # ...but a real catalog space still is.
+        session.space("2D_Q91", resolution=5)
+        assert list(tmp_path.glob("*.npz"))
